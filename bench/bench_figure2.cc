@@ -1,0 +1,22 @@
+// Regenerates Figure 2: Abort, Restart, and estimated Silent failure rates
+// for the five desktop Windows variants.  Silent failures are estimated by
+// voting identical test cases across the variants (paper §4): a variant that
+// reports success-with-no-error where a sibling reports an error or failure
+// is charged a Silent failure.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ballista;
+  const auto opt = bench::parse_options(argc, argv);
+  auto experiment = bench::run_everything(opt);
+  const auto desktops = harness::desktop_subset(std::move(experiment.results));
+  const auto voted = core::vote_silent(desktops);
+  core::print_figure2(std::cout, desktops, voted);
+
+  std::cout << "\nOverall estimated Silent failure rates:\n";
+  for (std::size_t i = 0; i < desktops.size(); ++i) {
+    std::cout << "  " << sim::variant_name(desktops[i].variant) << ": "
+              << core::percent(voted.overall_silent[i]) << "\n";
+  }
+  return 0;
+}

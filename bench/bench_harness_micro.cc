@@ -1,0 +1,114 @@
+// google-benchmark micro-suite for the harness itself: cost of one test case
+// end to end (task creation, value construction, dispatch, classification)
+// per OS personality, plus the building blocks (tuple generation, simulated
+// memory access, machine boot).
+#include <benchmark/benchmark.h>
+
+#include "harness/world.h"
+
+namespace {
+
+using namespace ballista;
+
+const harness::World& world() {
+  static const auto w = harness::build_world();
+  return *w;
+}
+
+void BM_RunCase(benchmark::State& state) {
+  const auto variant = static_cast<sim::OsVariant>(state.range(0));
+  const core::MuT* mut = world().registry.find("strlen");
+  sim::Machine machine(variant);
+  core::Executor executor(machine);
+  core::TupleGenerator gen(*mut);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto r = executor.run_case(*mut, gen.tuple(i++ % gen.count()));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RunCase)
+    ->Arg(static_cast<int>(sim::OsVariant::kLinux))
+    ->Arg(static_cast<int>(sim::OsVariant::kWinNT4))
+    ->Arg(static_cast<int>(sim::OsVariant::kWin98))
+    ->Arg(static_cast<int>(sim::OsVariant::kWinCE));
+
+void BM_RunCaseSyscall(benchmark::State& state) {
+  const core::MuT* mut = world().registry.find("CreateFile");
+  sim::Machine machine(sim::OsVariant::kWinNT4);
+  core::Executor executor(machine);
+  core::TupleGenerator gen(*mut);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto r = executor.run_case(*mut, gen.tuple(i++ % gen.count()));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RunCaseSyscall);
+
+void BM_TupleGeneration(benchmark::State& state) {
+  const core::MuT* mut = world().registry.find("CreateFile");  // 7 params
+  core::TupleGenerator gen(*mut);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.tuple(i++ % gen.count()));
+  }
+}
+BENCHMARK(BM_TupleGeneration);
+
+void BM_ProcessCreation(benchmark::State& state) {
+  sim::Machine machine(sim::OsVariant::kWinNT4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.create_process());
+  }
+}
+BENCHMARK(BM_ProcessCreation);
+
+void BM_MachineBoot(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Machine machine(sim::OsVariant::kWin98);
+    benchmark::DoNotOptimize(machine.ticks());
+  }
+}
+BENCHMARK(BM_MachineBoot);
+
+void BM_SimMemoryWrite(benchmark::State& state) {
+  sim::AddressSpace mem;
+  const sim::Addr a = mem.alloc(4096);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t slot = i % 1024;
+    ++i;
+    mem.write_u32(a + slot * 4, static_cast<std::uint32_t>(i));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(BM_SimMemoryWrite);
+
+void BM_CrashAndReboot(benchmark::State& state) {
+  const core::MuT* mut = world().registry.find("GetThreadContext");
+  sim::Machine machine(sim::OsVariant::kWin98);
+  core::Executor executor(machine);
+  // The Listing 1 tuple.
+  std::vector<const core::TestValue*> tuple;
+  for (const core::DataType* t : mut->params) {
+    for (const core::TestValue* v : t->values()) {
+      if (v->name == "h_thread_pseudo" || v->name == "buf_null") {
+        tuple.push_back(v);
+        break;
+      }
+    }
+  }
+  for (auto _ : state) {
+    const auto r = executor.run_case(*mut, tuple);
+    benchmark::DoNotOptimize(r);
+    machine.reboot();
+  }
+}
+BENCHMARK(BM_CrashAndReboot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Load-sensitivity experiment — the paper's §5 future work ("dependability
+// problems caused by heavy load conditions, as well as state- and
+// sequence-dependent failures").
+//
+// Reruns the campaign under four ambient-pressure profiles and compares
+// failure rates against the freshly-booted baseline.  The aged-machine
+// profile connects to the paper's introduction: a Win9x box with accumulated
+// shared-arena wear eventually dies on an innocent call — the crash cannot
+// be attributed to any function, which is why periodic reboots "fixed" it.
+#include "bench/bench_common.h"
+#include "harness/stress.h"
+
+int main(int argc, char** argv) {
+  using namespace ballista;
+  auto opt = bench::parse_options(argc, argv);
+  if (opt.cap == core::kDefaultCap) opt.cap = 500;  // 4 profiles x 3 OSes
+  auto world = harness::build_world();
+
+  struct Profile {
+    const char* label;
+    harness::StressProfile profile;
+  };
+  const Profile profiles[] = {
+      {"baseline (fresh boot)", harness::baseline_profile()},
+      {"handle pressure (400 live handles)",
+       harness::handle_pressure_profile()},
+      {"memory pressure (256 live heap chunks)",
+       harness::memory_pressure_profile()},
+      {"fs clutter (64 files in /tmp)", harness::fs_clutter_profile()},
+      {"aged 9x machine (accumulated arena wear)",
+       harness::aged_machine_profile()},
+  };
+
+  core::CampaignOptions copt;
+  copt.cap = opt.cap;
+  copt.seed = opt.seed;
+
+  std::cout << "Load sensitivity (cap " << copt.cap << ")\n";
+  for (sim::OsVariant v : {sim::OsVariant::kLinux, sim::OsVariant::kWinNT4,
+                           sim::OsVariant::kWin98}) {
+    std::cout << "\n" << sim::variant_name(v) << "\n";
+    for (const Profile& p : profiles) {
+      const auto r =
+          harness::run_stressed_campaign(v, world->registry, p.profile, copt);
+      const auto s = core::summarize(r);
+      char line[192];
+      std::snprintf(line, sizeof line,
+                    "  %-42s abort %6s  restart %6s  catastrophic MuTs %2d"
+                    "  reboots %2d\n",
+                    p.label, core::percent(s.overall_abort).c_str(),
+                    core::percent(s.overall_restart, 2).c_str(),
+                    s.total_catastrophic, r.reboots);
+      std::cout << line;
+    }
+  }
+
+  std::cout <<
+      "\nReading: exception-handling robustness is load-insensitive in this\n"
+      "model (per-task pressure leaves rates unchanged — the failures are\n"
+      "argument-driven), but machine *age* is not: on the 9x family, wear\n"
+      "accumulated before the campaign produces crashes in functions with\n"
+      "no hazard of their own, unattributable and unreproducible — the\n"
+      "paper's 'elusive crashes ... observed to occur outside of the\n"
+      "current robustness testing framework' (§5).\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Regenerates Table 2 and Figure 1: normalized robustness failure rates by
+// functional category across the six Windows variants and Linux.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ballista;
+  const auto opt = bench::parse_options(argc, argv);
+  const auto experiment = bench::run_everything(opt);
+  const auto& results = experiment.results;
+  core::print_table2(std::cout, results);
+  std::cout << "\n";
+  core::print_figure1(std::cout, results);
+  return 0;
+}

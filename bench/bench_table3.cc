@@ -1,0 +1,12 @@
+// Regenerates Table 3: functions with Catastrophic failures by OS and
+// functional group, with '*' marking crashes that could not be reproduced
+// outside of the full test harness (inter-test interference).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ballista;
+  const auto opt = bench::parse_options(argc, argv);
+  const auto experiment = bench::run_everything(opt);
+  core::print_table3(std::cout, experiment.results);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Failure diagnosis: after a campaign, which *test values* are responsible?
+//
+// The paper's §5 analysis traced Windows CE's seventeen C-library crashes to
+// "a single bad parameter value, namely an invalid C file pointer (the
+// actual parameter was a string buffer typecast to a file pointer)".  This
+// example runs the CE and Linux campaigns and lets the per-value attribution
+// rediscover that conclusion automatically.
+#include <iostream>
+
+#include "core/ballista.h"
+#include "harness/world.h"
+
+using namespace ballista;
+
+int main() {
+  auto world = harness::build_world();
+  core::CampaignOptions opt;
+  opt.cap = 400;
+
+  for (sim::OsVariant v : {sim::OsVariant::kWinCE, sim::OsVariant::kLinux}) {
+    std::cout << "=== " << sim::variant_name(v) << " ===\n";
+    const auto result = core::Campaign::run(v, world->registry, opt);
+    const auto analysis = core::analyze_values(result, opt.cap, opt.seed);
+    core::print_value_analysis(std::cout, analysis, /*top_n=*/12);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "On Windows CE the table is headed by the invalid FILE* values\n"
+         "(file_dangling, file_closed ...) at 80-100% failure — the paper's\n"
+         "root cause, recovered from the data.  (Their absolute case counts\n"
+         "are tiny precisely because each one kills the machine and ends its\n"
+         "MuT's test set.)  On Linux the same analysis points at wild\n"
+         "pointers and bad FILE*s in the *C library* instead, because the\n"
+         "kernel's EFAULT discipline keeps system-call pointers out of the\n"
+         "failure statistics.\n";
+  return 0;
+}

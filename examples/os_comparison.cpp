@@ -1,0 +1,61 @@
+// A compact cross-OS robustness comparison, the paper's §3.3 methodology in
+// miniature: run the shared C-library MuTs on Linux and two Windows
+// personalities with identical test tuples, then print normalized group
+// failure rates side by side.
+#include <iomanip>
+#include <iostream>
+
+#include "harness/world.h"
+
+using namespace ballista;
+
+int main() {
+  auto world = harness::build_world();
+
+  core::CampaignOptions opt;
+  opt.cap = 500;  // a quick pass; raise toward 5000 for the paper's fidelity
+  opt.only_api = core::ApiKind::kCLib;
+
+  std::vector<core::CampaignResult> results;
+  for (sim::OsVariant v : {sim::OsVariant::kLinux, sim::OsVariant::kWinNT4,
+                           sim::OsVariant::kWin98}) {
+    results.push_back(core::Campaign::run(v, world->registry, opt));
+  }
+
+  std::cout << "C library robustness, " << opt.cap
+            << "-case cap, identical tuples on every OS\n\n";
+  std::cout << std::left << std::setw(24) << "group";
+  for (const auto& r : results)
+    std::cout << std::setw(16) << sim::variant_name(r.variant);
+  std::cout << "\n";
+
+  for (core::FuncGroup g :
+       {core::FuncGroup::kCChar, core::FuncGroup::kCString,
+        core::FuncGroup::kCMemory, core::FuncGroup::kCFileIo,
+        core::FuncGroup::kCStreamIo, core::FuncGroup::kCMath,
+        core::FuncGroup::kCTime}) {
+    std::cout << std::setw(24) << core::group_name(g);
+    for (const auto& r : results) {
+      const core::GroupRate gr = core::group_rate(r, g);
+      std::cout << std::setw(16)
+                << (gr.no_data ? std::string("N/A")
+                               : core::percent(gr.failure_rate));
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nWhat to look for (paper §4):\n"
+               "  - C char: Linux aborts (raw ctype table), Windows is 0%\n"
+               "  - C file I/O and stream I/O: glibc trusts FILE*, the MSVC\n"
+               "    CRT validates against its _iob table\n"
+               "  - C math: near-zero everywhere (errno protocol)\n";
+
+  std::cout << "\nPer-MuT detail for the starkest contrast (isalpha):\n";
+  for (const auto& r : results) {
+    const core::MutStats* s = r.find("isalpha");
+    std::cout << "  " << std::setw(16) << sim::variant_name(r.variant)
+              << " aborts " << core::percent(s->abort_rate())
+              << " over " << s->executed << " cases\n";
+  }
+  return 0;
+}

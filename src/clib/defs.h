@@ -1,0 +1,34 @@
+// Terse MuT-registration helpers shared by the clib/win32/posix registries.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+
+#include "core/registry.h"
+#include "core/typelib.h"
+
+namespace ballista::clib {
+
+struct Defs {
+  core::TypeLibrary& lib;
+  core::Registry& reg;
+
+  const core::DataType* t(std::string_view name) const {
+    return &lib.get(name);
+  }
+
+  core::MuT& add(std::string name, core::ApiKind api, core::FuncGroup group,
+                 std::initializer_list<const char*> param_types,
+                 core::ApiImpl impl, std::uint8_t mask) {
+    core::MuT m;
+    m.name = std::move(name);
+    m.api = api;
+    m.group = group;
+    for (const char* p : param_types) m.params.push_back(t(p));
+    m.impl = std::move(impl);
+    m.variant_mask = mask;
+    return reg.add(std::move(m));
+  }
+};
+
+}  // namespace ballista::clib

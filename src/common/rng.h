@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for reproducible campaigns.
+//
+// The paper (§3.1) requires that "the same pseudorandom sampling of test cases
+// was performed in the same order for each system call or C function tested
+// across the different Windows variants".  We therefore seed a SplitMix64
+// stream from a stable hash of the MuT name plus a campaign seed, independent
+// of any global state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ballista {
+
+/// FNV-1a 64-bit hash; stable across platforms and runs.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64: tiny, fast, statistically solid for test sampling.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound must be nonzero.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Multiplicative range reduction; bias is negligible for bounds << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ballista

@@ -1,0 +1,22 @@
+// Umbrella header: the public Ballista API.
+//
+//   TypeLibrary lib;                 // data types & test value pools
+//   register_base_types(lib);
+//   Registry reg;                    // modules under test
+//   ... register MuTs (or use harness::build_world for the paper's catalog)
+//   CampaignResult r = Campaign::run(sim::OsVariant::kLinux, reg);
+//   print_table1(std::cout, {&r, 1});
+#pragma once
+
+#include "core/analysis.h"
+#include "core/campaign.h"
+#include "core/classify.h"
+#include "core/datatype.h"
+#include "core/execctx.h"
+#include "core/executor.h"
+#include "core/generator.h"
+#include "core/registry.h"
+#include "core/report.h"
+#include "core/typelib.h"
+#include "core/voting.h"
+#include "sim/machine.h"

@@ -1,0 +1,101 @@
+// Campaign runner: executes the full Ballista test matrix for one OS variant,
+// handling crash/reboot bookkeeping exactly as the paper describes — a
+// Catastrophic failure interrupts the MuT's test set (leaving it incomplete
+// and excluded from rate averages), the machine is rebooted, and a
+// single-test reproduction pass decides whether the crash earns the Table 3
+// `*` ("could not isolate the system crash to a single test case").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/generator.h"
+#include "core/registry.h"
+
+namespace ballista::core {
+
+/// Compact per-case record kept for the Figure 2 voting analysis.
+enum class CaseCode : std::uint8_t {
+  kPassWithError = 0,  // robust: failure reported with an error code
+  kPassNoError = 1,    // returned success, no error indication
+  kAbort = 2,
+  kRestart = 3,
+  kCatastrophic = 4,
+  kHindering = 5,  // failure reported with a wrong error code
+};
+
+struct MutStats {
+  const MuT* mut = nullptr;
+  std::uint64_t planned = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t restarts = 0;
+  /// Pass-no-error cases whose tuple contained an exceptional value: the
+  /// direct (oracle-based) Silent candidates.  Figure 2 uses voting instead.
+  std::uint64_t silent_candidates = 0;
+  std::uint64_t hindering = 0;
+
+  bool catastrophic = false;
+  std::int64_t crash_case = -1;
+  std::string crash_detail;
+  std::string crash_tuple;
+  /// True when re-running the crashing case alone on a rebooted machine
+  /// crashes again; false is the paper's `*` (inter-test interference).
+  bool crash_reproducible_single = false;
+
+  std::vector<CaseCode> case_codes;
+
+  double abort_rate() const noexcept {
+    return executed == 0 ? 0.0 : static_cast<double>(aborts) / executed;
+  }
+  double restart_rate() const noexcept {
+    return executed == 0 ? 0.0 : static_cast<double>(restarts) / executed;
+  }
+  double silent_candidate_rate() const noexcept {
+    return executed == 0 ? 0.0
+                         : static_cast<double>(silent_candidates) / executed;
+  }
+};
+
+struct CampaignOptions {
+  std::uint64_t cap = kDefaultCap;
+  std::uint64_t seed = 0x8a11157a;
+  /// Keep per-case codes (needed for voting; ~1 byte/case).
+  bool record_cases = true;
+  /// Re-run each crashing case standalone to classify `*` reproducibility.
+  bool repro_pass = true;
+  /// Restrict to one ApiKind (e.g. C library only); nullopt = everything the
+  /// variant supports.
+  std::optional<ApiKind> only_api;
+  /// Load-testing hooks (paper §5 future work).  `machine_setup` runs once
+  /// on the freshly booted machine (pre-aging, ambient state); `task_setup`
+  /// runs in every test task after creation, before argument construction
+  /// (per-task pressure: handles, heap, filesystem clutter).
+  std::function<void(sim::Machine&)> machine_setup;
+  std::function<void(sim::SimProcess&)> task_setup;
+};
+
+struct CampaignResult {
+  sim::OsVariant variant{};
+  std::vector<MutStats> stats;
+  int reboots = 0;
+  std::uint64_t total_cases = 0;
+
+  const MutStats* find(std::string_view name) const noexcept {
+    for (const auto& s : stats)
+      if (s.mut->name == name) return &s;
+    return nullptr;
+  }
+};
+
+class Campaign {
+ public:
+  static CampaignResult run(sim::OsVariant variant, const Registry& registry,
+                            const CampaignOptions& opt = {});
+};
+
+}  // namespace ballista::core

@@ -1,0 +1,64 @@
+#include "core/executor.h"
+
+#include <cassert>
+
+namespace ballista::core {
+
+CaseResult Executor::run_case(const MuT& mut,
+                              std::span<const TestValue* const> tuple) {
+  assert(!machine_.crashed());
+  assert(tuple.size() == mut.params.size());
+
+  CaseResult result;
+  for (const TestValue* v : tuple)
+    if (v->exceptional) result.any_exceptional = true;
+
+  // Paper §2: each test cleans up lingering state (temporary files) before the
+  // next; the fixture reset gives constructors a known disk image.
+  machine_.fs().reset_fixture();
+
+  auto proc = machine_.create_process();
+  if (task_setup_) task_setup_(*proc);
+  ValueCtx vctx{machine_, *proc};
+
+  std::vector<RawArg> args;
+  args.reserve(tuple.size());
+  for (const TestValue* v : tuple) args.push_back(v->make(vctx));
+
+  // Sentinel error state so the classifier can see whether the call reported.
+  proc->set_last_error(0);
+  proc->set_errno(0);
+
+  CallContext ctx(machine_, *proc, mut, args);
+  try {
+    machine_.kernel_enter();
+    const CallOutcome out = mut.impl(ctx);
+    switch (out.status) {
+      case CallStatus::kErrorReported:
+        result.outcome = Outcome::kPass;
+        break;
+      case CallStatus::kWrongError:
+        result.outcome = Outcome::kPass;
+        result.wrong_error = true;
+        break;
+      case CallStatus::kSuccess:
+      case CallStatus::kSilentSuccess:
+        result.outcome = Outcome::kPass;
+        result.success_no_error = true;
+        break;
+    }
+  } catch (const sim::KernelPanic& p) {
+    result.outcome = Outcome::kCatastrophic;
+    result.detail = p.what();
+  } catch (const sim::TaskHang& h) {
+    result.outcome = Outcome::kRestart;
+    result.detail = h.what();
+  } catch (const sim::SimFault& f) {
+    result.outcome = Outcome::kAbort;
+    result.fault = f.fault().type;
+    result.detail = f.what();
+  }
+  return result;
+}
+
+}  // namespace ballista::core

@@ -1,0 +1,49 @@
+// Runs a single Ballista test case in a fresh simulated task and classifies
+// the result on the CRASH scale.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/execctx.h"
+#include "core/registry.h"
+#include "sim/machine.h"
+
+namespace ballista::core {
+
+struct CaseResult {
+  Outcome outcome = Outcome::kPass;
+  /// Return path details for Silent/Hindering analysis (only meaningful when
+  /// outcome == kPass).
+  bool success_no_error = false;  // returned success with no error indication
+  bool wrong_error = false;       // Hindering candidate
+  bool any_exceptional = false;   // tuple contained >= 1 exceptional value
+  sim::FaultType fault = sim::FaultType::kAccessViolation;  // when kAbort
+  std::string detail;  // human-readable (crash reason / fault description)
+};
+
+class Executor {
+ public:
+  explicit Executor(sim::Machine& machine) : machine_(machine) {}
+
+  /// Precondition: !machine().crashed().  Resets the filesystem fixture,
+  /// builds a fresh task, materializes the tuple, dispatches, classifies.
+  CaseResult run_case(const MuT& mut, std::span<const TestValue* const> tuple);
+
+  /// Installs per-task ambient state (load testing); runs after task
+  /// creation and before argument construction.
+  void set_task_setup(std::function<void(sim::SimProcess&)> hook) {
+    task_setup_ = std::move(hook);
+  }
+
+  sim::Machine& machine() noexcept { return machine_; }
+
+ private:
+  sim::Machine& machine_;
+  std::function<void(sim::SimProcess&)> task_setup_;
+};
+
+}  // namespace ballista::core

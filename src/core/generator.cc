@@ -1,0 +1,49 @@
+#include "core/generator.h"
+
+#include <cassert>
+#include <limits>
+
+namespace ballista::core {
+
+TupleGenerator::TupleGenerator(const MuT& mut, std::uint64_t cap,
+                               std::uint64_t campaign_seed) {
+  pools_.reserve(mut.params.size());
+  for (const DataType* t : mut.params) {
+    pools_.push_back(t->values());
+    assert(!pools_.back().empty() && "data type with empty pool");
+  }
+  combos_ = 1;
+  for (const auto& p : pools_) {
+    // Saturating product: pool sizes are small but signatures can be wide.
+    if (combos_ > std::numeric_limits<std::uint64_t>::max() / p.size())
+      combos_ = std::numeric_limits<std::uint64_t>::max();
+    else
+      combos_ *= p.size();
+  }
+  exhaustive_ = combos_ <= cap;
+  count_ = exhaustive_ ? combos_ : cap;
+  seed_ = campaign_seed ^ fnv1a(mut.name);
+}
+
+std::vector<const TestValue*> TupleGenerator::tuple(std::uint64_t i) const {
+  assert(i < count_);
+  std::vector<const TestValue*> out;
+  out.reserve(pools_.size());
+  if (exhaustive_) {
+    // Mixed-radix odometer over the pools.
+    std::uint64_t rem = i;
+    for (const auto& p : pools_) {
+      out.push_back(p[rem % p.size()]);
+      rem /= p.size();
+    }
+  } else {
+    // Stateless per-index sampling: stream position i is derived, not
+    // iterated, so callers may revisit any case independently (the paper's
+    // single-test reproduction programs rely on this).
+    SplitMix64 rng(seed_ + 0x9e3779b97f4a7c15ULL * (i + 1));
+    for (const auto& p : pools_) out.push_back(p[rng.next_below(p.size())]);
+  }
+  return out;
+}
+
+}  // namespace ballista::core

@@ -1,0 +1,44 @@
+// Test tuple generation (paper §3.1).
+//
+// All combinations of per-parameter pool values are enumerated when their
+// product is at most the cap (5000); wider signatures are sampled
+// pseudorandomly.  The stream is seeded from the MuT name so "the same
+// pseudorandom sampling of test cases [is] performed in the same order for
+// each system call or C function tested across the different Windows
+// variants" — a prerequisite for the Figure 2 voting analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/registry.h"
+
+namespace ballista::core {
+
+inline constexpr std::uint64_t kDefaultCap = 5000;
+
+class TupleGenerator {
+ public:
+  TupleGenerator(const MuT& mut, std::uint64_t cap = kDefaultCap,
+                 std::uint64_t campaign_seed = 0x8a11157a);
+
+  /// Total tuples this generator will yield.
+  std::uint64_t count() const noexcept { return count_; }
+  bool exhaustive() const noexcept { return exhaustive_; }
+  /// Number of all possible combinations (may exceed count()).
+  std::uint64_t combination_count() const noexcept { return combos_; }
+
+  /// Tuple #i (0 <= i < count()).  Deterministic: (mut, cap, seed, i) fully
+  /// determine the result.
+  std::vector<const TestValue*> tuple(std::uint64_t i) const;
+
+ private:
+  std::vector<std::vector<const TestValue*>> pools_;
+  std::uint64_t combos_ = 1;
+  std::uint64_t count_ = 0;
+  bool exhaustive_ = true;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace ballista::core

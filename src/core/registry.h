@@ -1,0 +1,145 @@
+// Module-under-Test registry: the catalog of API calls a campaign exercises,
+// grouped into the paper's twelve functional categories for normalized
+// cross-API comparison (§3.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/datatype.h"
+#include "sim/personality.h"
+
+namespace ballista::core {
+
+class CallContext;
+
+enum class ApiKind : std::uint8_t { kWin32Sys, kPosixSys, kCLib };
+
+/// The twelve functional groupings of Table 2 / Figure 1.
+enum class FuncGroup : std::uint8_t {
+  // system-call groups
+  kMemoryManagement,
+  kFileDirAccess,
+  kIoPrimitives,
+  kProcessPrimitives,
+  kProcessEnvironment,
+  // C library groups
+  kCChar,
+  kCString,
+  kCMemory,
+  kCFileIo,    // "C file I/O management"
+  kCStreamIo,  // "C stream I/O"
+  kCMath,
+  kCTime,
+};
+
+inline constexpr std::array<FuncGroup, 12> kAllGroups = {
+    FuncGroup::kMemoryManagement, FuncGroup::kFileDirAccess,
+    FuncGroup::kIoPrimitives,     FuncGroup::kProcessPrimitives,
+    FuncGroup::kProcessEnvironment, FuncGroup::kCChar,
+    FuncGroup::kCString,          FuncGroup::kCMemory,
+    FuncGroup::kCFileIo,          FuncGroup::kCStreamIo,
+    FuncGroup::kCMath,            FuncGroup::kCTime,
+};
+
+std::string_view group_name(FuncGroup g) noexcept;
+inline bool is_clib_group(FuncGroup g) noexcept {
+  return g >= FuncGroup::kCChar;
+}
+
+/// How a hazardous (unprobed) kernel path fails on a given variant:
+///  - kImmediate: the stray kernel access kills the machine during the test
+///    case itself (reproducible from a single-test program);
+///  - kDeferred: the write lands in the shared arena, corrupting it; the
+///    machine dies a few kernel entries later (the paper's `*` failures,
+///    reproducible only by running the harness).
+enum class CrashStyle : std::uint8_t { kNone, kImmediate, kDeferred };
+
+using ApiImpl = std::function<CallOutcome(CallContext&)>;
+
+struct MuT {
+  std::string name;
+  ApiKind api = ApiKind::kCLib;
+  FuncGroup group = FuncGroup::kCString;
+  std::vector<const DataType*> params;
+  ApiImpl impl;
+  /// Bitmask over sim::OsVariant of where this MuT exists.
+  std::uint8_t variant_mask = 0;
+  /// Per-variant hazardous-path behaviour (empty = probed everywhere).
+  std::map<sim::OsVariant, CrashStyle> hazards;
+  /// CE counts ASCII and UNICODE implementations separately (§4); true when
+  /// this MuT has both.
+  bool has_unicode_twin = false;
+  /// Set on a UNICODE twin: the ASCII MuT it shadows in CE reporting (the
+  /// paper reports "the failure rates for the UNICODE versions" only).
+  std::string twin_of;
+
+  bool supported_on(sim::OsVariant v) const noexcept {
+    return (variant_mask & (1u << static_cast<unsigned>(v))) != 0;
+  }
+  CrashStyle hazard_on(sim::OsVariant v) const noexcept {
+    auto it = hazards.find(v);
+    return it == hazards.end() ? CrashStyle::kNone : it->second;
+  }
+};
+
+constexpr std::uint8_t variant_bit(sim::OsVariant v) noexcept {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(v));
+}
+
+/// Masks used by the API registries.
+inline constexpr std::uint8_t kMaskAllWindows =
+    variant_bit(sim::OsVariant::kWin95) | variant_bit(sim::OsVariant::kWin98) |
+    variant_bit(sim::OsVariant::kWin98SE) |
+    variant_bit(sim::OsVariant::kWinNT4) |
+    variant_bit(sim::OsVariant::kWin2000) | variant_bit(sim::OsVariant::kWinCE);
+inline constexpr std::uint8_t kMaskDesktopWindows =
+    static_cast<std::uint8_t>(kMaskAllWindows &
+                              ~variant_bit(sim::OsVariant::kWinCE));
+inline constexpr std::uint8_t kMaskNotWin95 = static_cast<std::uint8_t>(
+    kMaskAllWindows & ~variant_bit(sim::OsVariant::kWin95));
+inline constexpr std::uint8_t kMaskLinux = variant_bit(sim::OsVariant::kLinux);
+inline constexpr std::uint8_t kMaskEverything =
+    static_cast<std::uint8_t>(kMaskAllWindows | kMaskLinux);
+
+class Registry {
+ public:
+  MuT& add(MuT mut) {
+    muts_.push_back(std::move(mut));
+    return muts_.back();
+  }
+
+  const std::vector<MuT>& muts() const noexcept { return muts_; }
+
+  std::vector<const MuT*> for_variant(sim::OsVariant v) const {
+    std::vector<const MuT*> out;
+    for (const auto& m : muts_)
+      if (m.supported_on(v)) out.push_back(&m);
+    return out;
+  }
+
+  const MuT* find(std::string_view name) const noexcept {
+    for (const auto& m : muts_)
+      if (m.name == name) return &m;
+    return nullptr;
+  }
+
+  std::size_t count(sim::OsVariant v, ApiKind api) const noexcept {
+    std::size_t n = 0;
+    for (const auto& m : muts_)
+      if (m.supported_on(v) && m.api == api) ++n;
+    return n;
+  }
+
+ private:
+  // deque-like stability not required: callers hold no pointers across adds
+  // except within registration functions, which reserve first.
+  std::vector<MuT> muts_;
+};
+
+}  // namespace ballista::core

@@ -1,0 +1,277 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ballista::core {
+
+namespace {
+
+bool is_sys(const MutStats& s) { return s.mut->api != ApiKind::kCLib; }
+
+// On Windows CE the paper reports rates for the UNICODE versions of twinned C
+// functions only ("we only report the failure rates for the UNICODE versions
+// of these C functions", §4); the ASCII twin still runs but is shadowed in
+// aggregation.
+bool shadowed_by_twin(const CampaignResult& r, const MutStats& s) {
+  if (r.variant != sim::OsVariant::kWinCE || !s.mut->has_unicode_twin)
+    return false;
+  for (const auto& o : r.stats)
+    if (o.mut->twin_of == s.mut->name) return true;
+  return false;
+}
+
+struct Acc {
+  int tested = 0;
+  int catastrophic = 0;
+  double abort_sum = 0;
+  double restart_sum = 0;
+  double hindering_sum = 0;
+  int rated = 0;  // MuTs contributing to rate averages
+
+  void add(const MutStats& s) {
+    ++tested;
+    if (s.catastrophic) {
+      ++catastrophic;
+      return;  // incomplete test set: excluded from rate averages
+    }
+    if (s.executed == 0) return;
+    abort_sum += s.abort_rate();
+    restart_sum += s.restart_rate();
+    hindering_sum += static_cast<double>(s.hindering) / s.executed;
+    ++rated;
+  }
+  double abort_avg() const { return rated == 0 ? 0 : abort_sum / rated; }
+  double restart_avg() const { return rated == 0 ? 0 : restart_sum / rated; }
+  double hindering_avg() const {
+    return rated == 0 ? 0 : hindering_sum / rated;
+  }
+};
+
+}  // namespace
+
+VariantSummary summarize(const CampaignResult& r) {
+  VariantSummary out;
+  out.variant = r.variant;
+  out.total_cases = r.total_cases;
+  Acc sys, clib, all;
+  for (const auto& s : r.stats) {
+    if (is_sys(s)) {
+      ++out.sys_tested_with_twins;
+    } else {
+      ++out.clib_tested_with_twins;
+      if (s.catastrophic) ++out.clib_catastrophic_with_twins;
+    }
+    if (shadowed_by_twin(r, s)) continue;
+    (is_sys(s) ? sys : clib).add(s);
+    all.add(s);
+  }
+  out.sys_tested = sys.tested;
+  out.sys_catastrophic = sys.catastrophic;
+  out.sys_abort = sys.abort_avg();
+  out.sys_restart = sys.restart_avg();
+  out.clib_tested = clib.tested;
+  out.clib_catastrophic = clib.catastrophic;
+  out.clib_abort = clib.abort_avg();
+  out.clib_restart = clib.restart_avg();
+  out.total_tested = all.tested;
+  out.total_catastrophic = all.catastrophic;
+  out.overall_abort = all.abort_avg();
+  out.overall_restart = all.restart_avg();
+  out.overall_hindering = all.hindering_avg();
+  return out;
+}
+
+GroupRate group_rate(const CampaignResult& r, FuncGroup g) {
+  GroupRate out;
+  int members = 0;
+  for (const auto& s : r.stats) {
+    if (s.mut->group != g) continue;
+    if (shadowed_by_twin(r, s)) continue;
+    ++members;
+    if (s.catastrophic) {
+      out.has_catastrophic = true;
+      ++out.catastrophic_functions;
+      continue;
+    }
+    if (s.executed == 0) continue;
+    out.abort_rate += s.abort_rate();
+    out.restart_rate += s.restart_rate();
+    ++out.functions;
+  }
+  if (out.functions > 0) {
+    out.abort_rate /= out.functions;
+    out.restart_rate /= out.functions;
+    out.failure_rate = out.abort_rate + out.restart_rate;
+  }
+  // Paper §4: too many Catastrophic members, or an unsupported group, means
+  // no meaningful rate.
+  if (members == 0 || out.catastrophic_functions * 2 > members)
+    out.no_data = true;
+  return out;
+}
+
+std::vector<CatastrophicEntry> catastrophic_list(const CampaignResult& r) {
+  std::vector<CatastrophicEntry> out;
+  for (const auto& s : r.stats) {
+    if (!s.catastrophic) continue;
+    if (shadowed_by_twin(r, s)) continue;
+    out.push_back({s.mut->name, s.mut->group, !s.crash_reproducible_single});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.group != b.group) return a.group < b.group;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string percent(double rate, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, rate * 100.0);
+  return buf;
+}
+
+std::string_view group_name(FuncGroup g) noexcept {
+  switch (g) {
+    case FuncGroup::kMemoryManagement: return "Memory Management";
+    case FuncGroup::kFileDirAccess: return "File/Directory Access";
+    case FuncGroup::kIoPrimitives: return "I/O Primitives";
+    case FuncGroup::kProcessPrimitives: return "Process Primitives";
+    case FuncGroup::kProcessEnvironment: return "Process Environment";
+    case FuncGroup::kCChar: return "C char";
+    case FuncGroup::kCString: return "C string";
+    case FuncGroup::kCMemory: return "C memory";
+    case FuncGroup::kCFileIo: return "C file I/O management";
+    case FuncGroup::kCStreamIo: return "C stream I/O";
+    case FuncGroup::kCMath: return "C math";
+    case FuncGroup::kCTime: return "C time";
+  }
+  return "?";
+}
+
+std::string_view outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kPass: return "Pass";
+    case Outcome::kAbort: return "Abort";
+    case Outcome::kRestart: return "Restart";
+    case Outcome::kCatastrophic: return "Catastrophic";
+    case Outcome::kNotRun: return "NotRun";
+  }
+  return "?";
+}
+
+void print_table1(std::ostream& os, std::span<const CampaignResult> results) {
+  os << "Table 1. Robustness failure rates by Module under Test (MuT)\n";
+  os << "-------------------------------------------------------------------"
+        "-----------------------------\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%-16s %5s %5s %8s %8s %5s %5s %8s %8s %6s "
+                "%8s %8s %9s\n",
+                "OS", "Sys", "SysCat", "SysAb%", "SysRst%", "CLib", "CLCat",
+                "CLAb%", "CLRst%", "MuTs", "Abort%", "Restart%", "Cases");
+  os << line;
+  for (const auto& r : results) {
+    const VariantSummary s = summarize(r);
+    std::snprintf(line, sizeof line,
+                  "%-16s %5d %6d %8s %8s %5d %5d %8s %8s %6d %8s %8s %9llu\n",
+                  std::string(sim::variant_name(s.variant)).c_str(),
+                  s.sys_tested, s.sys_catastrophic,
+                  percent(s.sys_abort).c_str(),
+                  percent(s.sys_restart, 2).c_str(), s.clib_tested,
+                  s.clib_catastrophic, percent(s.clib_abort).c_str(),
+                  percent(s.clib_restart, 2).c_str(), s.total_tested,
+                  percent(s.overall_abort).c_str(),
+                  percent(s.overall_restart, 2).c_str(),
+                  static_cast<unsigned long long>(s.total_cases));
+    os << line;
+  }
+}
+
+void print_table2(std::ostream& os, std::span<const CampaignResult> results) {
+  os << "Table 2. Overall robustness failure rates by functional category\n";
+  os << "(Catastrophic rates excluded from numbers; presence marked '*'; "
+        "'N/A' = no data)\n";
+  char line[512];
+  std::snprintf(line, sizeof line, "%-16s", "OS");
+  os << line;
+  for (FuncGroup g : kAllGroups) {
+    std::string gn{group_name(g)};
+    if (gn.size() > 10) gn = gn.substr(0, 10);
+    std::snprintf(line, sizeof line, " %10s", gn.c_str());
+    os << line;
+  }
+  os << "\n";
+  for (const auto& r : results) {
+    std::snprintf(line, sizeof line, "%-16s",
+                  std::string(sim::variant_name(r.variant)).c_str());
+    os << line;
+    for (FuncGroup g : kAllGroups) {
+      const GroupRate gr = group_rate(r, g);
+      std::string cell;
+      if (gr.no_data && gr.functions == 0 && !gr.has_catastrophic) {
+        cell = "N/A";
+      } else if (gr.no_data) {
+        cell = "*N/A";
+      } else {
+        cell = (gr.has_catastrophic ? "*" : "") + percent(gr.failure_rate);
+      }
+      std::snprintf(line, sizeof line, " %10s", cell.c_str());
+      os << line;
+    }
+    os << "\n";
+  }
+}
+
+void print_figure1(std::ostream& os, std::span<const CampaignResult> results) {
+  os << "Figure 1. Comparative robustness failure rates by functional "
+        "category\n";
+  constexpr int kWidth = 50;
+  for (FuncGroup g : kAllGroups) {
+    os << "\n" << group_name(g) << "\n";
+    for (const auto& r : results) {
+      const GroupRate gr = group_rate(r, g);
+      char head[64];
+      std::snprintf(head, sizeof head, "  %-16s |",
+                    std::string(sim::variant_name(r.variant)).c_str());
+      os << head;
+      if (gr.no_data) {
+        os << " X (no data" << (gr.has_catastrophic ? "; catastrophic)" : ")")
+           << "\n";
+        continue;
+      }
+      const int bars = static_cast<int>(
+          std::lround(gr.failure_rate * kWidth));
+      for (int i = 0; i < bars; ++i) os << '#';
+      os << ' ' << percent(gr.failure_rate)
+         << (gr.has_catastrophic ? " *" : "") << "\n";
+    }
+  }
+}
+
+void print_table3(std::ostream& os, std::span<const CampaignResult> results) {
+  os << "Table 3. Functions with Catastrophic failures by OS and group\n";
+  os << "('*' = could not be reproduced outside of the test harness)\n";
+  for (const auto& r : results) {
+    const auto list = catastrophic_list(r);
+    os << "\n" << sim::variant_name(r.variant) << " (" << list.size()
+       << " functions):\n";
+    if (list.empty()) {
+      os << "  (none)\n";
+      continue;
+    }
+    FuncGroup current{};
+    bool first = true;
+    for (const auto& e : list) {
+      if (first || e.group != current) {
+        os << "  [" << group_name(e.group) << "]\n";
+        current = e.group;
+        first = false;
+      }
+      os << "    " << (e.starred ? "*" : " ") << e.name << "\n";
+    }
+  }
+}
+
+}  // namespace ballista::core

@@ -1,0 +1,81 @@
+// Aggregation and rendering of campaign results in the paper's shapes:
+// Table 1 (per-OS failure rates by MuT class), Table 2 / Figure 1 (normalized
+// failure rates by functional group), Table 3 (Catastrophic function lists).
+//
+// Normalization follows §3.3: per-MuT failure rate = failed/executed; group
+// rate = uniform-weight average of member MuT rates; MuTs with Catastrophic
+// failures are excluded from averaged rates (their test sets are incomplete)
+// but flagged.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace ballista::core {
+
+struct VariantSummary {
+  sim::OsVariant variant{};
+  int sys_tested = 0;
+  int sys_catastrophic = 0;
+  double sys_abort = 0;    // uniform-weight avg abort rate, catastrophic excl.
+  double sys_restart = 0;
+  int clib_tested = 0;
+  int clib_catastrophic = 0;
+  double clib_abort = 0;
+  double clib_restart = 0;
+  int total_tested = 0;
+  int total_catastrophic = 0;
+  double overall_abort = 0;
+  double overall_restart = 0;
+  /// Hindering (wrong-error-code) rate where an oracle exists; supplementary
+  /// to the paper's Table 1, which reports Abort/Restart only.
+  double overall_hindering = 0;
+  std::uint64_t total_cases = 0;
+  /// Counting CE's ASCII+UNICODE implementations separately (the paper's
+  /// parenthesized Table 1 numbers); equal to the plain counts elsewhere.
+  int sys_tested_with_twins = 0;
+  int clib_tested_with_twins = 0;
+  int clib_catastrophic_with_twins = 0;
+};
+
+VariantSummary summarize(const CampaignResult& r);
+
+struct GroupRate {
+  double failure_rate = 0;  // (aborts+restarts)/executed, group-averaged
+  double abort_rate = 0;
+  double restart_rate = 0;
+  bool has_catastrophic = false;  // the Table 2 "*"
+  int functions = 0;              // MuTs contributing to the averaged rate
+  int catastrophic_functions = 0;
+  /// Paper §4: groups where most functions crashed (CE stream I/O) or which
+  /// the OS does not support (CE C time) report no rate.
+  bool no_data = false;
+};
+
+GroupRate group_rate(const CampaignResult& r, FuncGroup g);
+
+struct CatastrophicEntry {
+  std::string name;
+  FuncGroup group{};
+  bool starred = false;  // not reproducible as a single test case
+};
+
+std::vector<CatastrophicEntry> catastrophic_list(const CampaignResult& r);
+
+// --- renderers ---------------------------------------------------------------
+
+void print_table1(std::ostream& os, std::span<const CampaignResult> results);
+void print_table2(std::ostream& os, std::span<const CampaignResult> results);
+/// ASCII rendering of Figure 1's grouped bars.
+void print_figure1(std::ostream& os, std::span<const CampaignResult> results);
+void print_table3(std::ostream& os, std::span<const CampaignResult> results);
+
+std::string percent(double rate, int decimals = 1);
+
+}  // namespace ballista::core

@@ -1,0 +1,51 @@
+// The library of Ballista data types.
+//
+// core registers the generic scalar/pointer/string pools; the clib, win32 and
+// posix layers extend the library with their domain types (FILE*, HANDLE
+// kinds, file descriptors, paths...), usually inheriting a generic pool and
+// adding specialized values — the approach §3.1 describes for the Windows
+// HANDLE type.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/datatype.h"
+
+namespace ballista::core {
+
+class TypeLibrary {
+ public:
+  TypeLibrary() = default;
+  TypeLibrary(const TypeLibrary&) = delete;
+  TypeLibrary& operator=(const TypeLibrary&) = delete;
+
+  DataType& make(std::string name, const DataType* parent = nullptr);
+  const DataType& get(std::string_view name) const;
+  bool has(std::string_view name) const noexcept {
+    return by_name_.count(std::string(name)) != 0;
+  }
+
+  std::size_t type_count() const noexcept { return order_.size(); }
+  std::size_t total_values() const noexcept {
+    std::size_t n = 0;
+    for (const auto& t : order_) n += t->value_count();
+    return n;
+  }
+  const std::vector<std::unique_ptr<DataType>>& types() const noexcept {
+    return order_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<DataType>> order_;
+  std::map<std::string, DataType*> by_name_;
+};
+
+/// Registers the generic pools: int / size / count / flags / double /
+/// char-int / writable buffer / readable buffer / C string / format string /
+/// wide string.
+void register_base_types(TypeLibrary& lib);
+
+}  // namespace ballista::core

@@ -1,0 +1,156 @@
+#include "core/voting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace ballista::core {
+
+namespace {
+
+bool counts_as_error(CaseCode c) {
+  switch (c) {
+    case CaseCode::kPassWithError:
+    case CaseCode::kAbort:
+    case CaseCode::kRestart:
+    case CaseCode::kHindering:
+      return true;
+    case CaseCode::kPassNoError:
+    case CaseCode::kCatastrophic:
+      return false;
+  }
+  return false;
+}
+
+std::size_t group_index(FuncGroup g) {
+  return static_cast<std::size_t>(g) -
+         static_cast<std::size_t>(FuncGroup::kMemoryManagement);
+}
+
+}  // namespace
+
+VotingResult vote_silent(std::span<const CampaignResult> variants) {
+  VotingResult out;
+  out.by_group.resize(variants.size());
+  out.overall_silent.resize(variants.size(), 0.0);
+  out.per_mut.resize(variants.size());
+
+  if (variants.empty()) return out;
+
+  // MuTs eligible for voting: present with recorded cases in every variant.
+  struct PerVariantStats {
+    std::vector<const MutStats*> stats;  // parallel to variants
+    std::uint64_t comparable_cases = 0;
+  };
+  std::map<std::string, PerVariantStats> eligible;
+  for (const auto& s : variants.front().stats) {
+    PerVariantStats pv;
+    pv.stats.push_back(&s);
+    bool everywhere = true;
+    std::uint64_t n = s.case_codes.size();
+    for (std::size_t v = 1; v < variants.size(); ++v) {
+      const MutStats* other = variants[v].find(s.mut->name);
+      if (other == nullptr || other->case_codes.empty()) {
+        everywhere = false;
+        break;
+      }
+      pv.stats.push_back(other);
+      n = std::min<std::uint64_t>(n, other->case_codes.size());
+    }
+    if (!everywhere || n == 0) continue;
+    pv.comparable_cases = n;
+    eligible.emplace(s.mut->name, std::move(pv));
+  }
+
+  // Vote per MuT, then group-average with uniform weights (matching the
+  // paper's normalization).
+  struct GroupAcc {
+    double silent_sum = 0, abort_sum = 0, restart_sum = 0;
+    int n = 0;
+  };
+  std::vector<std::array<GroupAcc, 12>> group_acc(variants.size());
+  std::vector<double> overall_sum(variants.size(), 0.0);
+  std::vector<int> overall_n(variants.size(), 0);
+
+  for (const auto& [name, pv] : eligible) {
+    const std::uint64_t n = pv.comparable_cases;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      std::uint64_t silent = 0;
+      for (std::uint64_t j = 0; j < n; ++j) {
+        if (pv.stats[v]->case_codes[j] != CaseCode::kPassNoError) continue;
+        for (std::size_t w = 0; w < variants.size(); ++w) {
+          if (w == v) continue;
+          if (counts_as_error(pv.stats[w]->case_codes[j])) {
+            ++silent;
+            break;
+          }
+        }
+      }
+      const double rate = static_cast<double>(silent) / n;
+      out.per_mut[v].emplace(name, rate);
+      const std::size_t gi = group_index(pv.stats[v]->mut->group);
+      auto& acc = group_acc[v][gi];
+      acc.silent_sum += rate;
+      if (!pv.stats[v]->catastrophic) {
+        acc.abort_sum += pv.stats[v]->abort_rate();
+        acc.restart_sum += pv.stats[v]->restart_rate();
+      }
+      ++acc.n;
+      overall_sum[v] += rate;
+      ++overall_n[v];
+    }
+  }
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t gi = 0; gi < 12; ++gi) {
+      const auto& acc = group_acc[v][gi];
+      auto& est = out.by_group[v][gi];
+      est.functions = acc.n;
+      if (acc.n == 0) {
+        est.no_data = true;
+        continue;
+      }
+      est.silent_rate = acc.silent_sum / acc.n;
+      est.abort_rate = acc.abort_sum / acc.n;
+      est.restart_rate = acc.restart_sum / acc.n;
+    }
+    out.overall_silent[v] =
+        overall_n[v] == 0 ? 0.0 : overall_sum[v] / overall_n[v];
+  }
+  return out;
+}
+
+void print_figure2(std::ostream& os, std::span<const CampaignResult> variants,
+                   const VotingResult& v) {
+  os << "Figure 2. Abort, Restart, and estimated Silent failure rates\n";
+  os << "(stacked: '#' abort, 'o' restart, '.' estimated silent)\n";
+  constexpr int kWidth = 50;
+  for (std::size_t gi = 0; gi < 12; ++gi) {
+    const FuncGroup g = kAllGroups[gi];
+    os << "\n" << group_name(g) << "\n";
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const auto& est = v.by_group[i][gi];
+      char head[64];
+      std::snprintf(head, sizeof head, "  %-16s |",
+                    std::string(sim::variant_name(variants[i].variant)).c_str());
+      os << head;
+      if (est.no_data) {
+        os << " X (no data)\n";
+        continue;
+      }
+      const int ab = static_cast<int>(std::lround(est.abort_rate * kWidth));
+      const int rs = static_cast<int>(std::lround(est.restart_rate * kWidth));
+      const int si = static_cast<int>(std::lround(est.silent_rate * kWidth));
+      for (int j = 0; j < ab; ++j) os << '#';
+      for (int j = 0; j < rs; ++j) os << 'o';
+      for (int j = 0; j < si; ++j) os << '.';
+      os << ' '
+         << percent(est.abort_rate + est.restart_rate + est.silent_rate)
+         << " (abort " << percent(est.abort_rate) << ", restart "
+         << percent(est.restart_rate) << ", silent est. "
+         << percent(est.silent_rate) << ")\n";
+    }
+  }
+}
+
+}  // namespace ballista::core

@@ -1,0 +1,49 @@
+// Estimated Silent failure rates by cross-variant voting (paper §4, Figure 2).
+//
+// "If one presumes that the Win32 API is supposed to be identical in exception
+// handling as well as functionality across implementations, if one system
+// reports a pass with no error reported for one particular test case and
+// another system reports a pass with an error or a failure for that identical
+// test case, then we can declare the system that reported no error as having
+// a Silent failure."
+//
+// Requires campaigns run with identical seeds/caps (the generator guarantees
+// identical tuples per MuT across variants).  Windows CE is excluded by the
+// paper because its API is not identical; callers pass the five desktop
+// variants.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/report.h"
+
+namespace ballista::core {
+
+struct SilentEstimate {
+  double silent_rate = 0;   // voted Silent rate, group-averaged
+  double abort_rate = 0;    // companions for the Figure 2 stack
+  double restart_rate = 0;
+  int functions = 0;
+  bool no_data = false;
+};
+
+struct VotingResult {
+  /// results[variant index in input span][group]
+  std::vector<std::array<SilentEstimate, 12>> by_group;
+  /// Overall (uniform across MuTs) silent rate per variant.
+  std::vector<double> overall_silent;
+  /// Per-MuT voted silent rate, keyed by MuT name, per variant.
+  std::vector<std::map<std::string, double>> per_mut;
+};
+
+VotingResult vote_silent(std::span<const CampaignResult> variants);
+
+void print_figure2(std::ostream& os, std::span<const CampaignResult> variants,
+                   const VotingResult& v);
+
+}  // namespace ballista::core

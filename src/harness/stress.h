@@ -1,0 +1,52 @@
+// Load and state-dependence testing — the paper's §5 future work:
+// "looking for dependability problems caused by heavy load conditions, as
+// well as state- and sequence-dependent failures."
+//
+// A StressProfile describes ambient pressure applied around the normal
+// Ballista campaign:
+//   - per-task pressure (open handles, live heap allocations, filesystem
+//     clutter) installed in every test task before the call under test;
+//   - machine pre-aging (accumulated shared-arena wear on the 9x/CE family),
+//     which connects to the introduction's observation that Windows machines
+//     anecdotally needed more frequent reboots: an aged machine eventually
+//     dies on an *innocent* system call, and the crash cannot be pinned on
+//     any function.
+#pragma once
+
+#include "core/ballista.h"
+
+namespace ballista::harness {
+
+struct StressProfile {
+  /// Open file handles added to every test task.
+  int extra_handles = 0;
+  /// Live heap chunks (64 bytes each) allocated in every test task.
+  int heap_chunks = 0;
+  /// Extra files cluttering /tmp in every test task's view of the disk.
+  int fs_clutter_files = 0;
+  /// Machine pre-aging: kernel entries the machine survives before its
+  /// accumulated arena wear kills it (0 = a freshly booted machine).
+  /// Ignored on personalities without a shared arena.
+  int wear_fuse_entries = 0;
+
+  bool is_baseline() const noexcept {
+    return extra_handles == 0 && heap_chunks == 0 &&
+           fs_clutter_files == 0 && wear_fuse_entries == 0;
+  }
+};
+
+/// Canonical profiles for the load-sensitivity experiment.
+StressProfile baseline_profile();
+StressProfile handle_pressure_profile();   // hundreds of live handles
+StressProfile memory_pressure_profile();   // a busy heap
+StressProfile fs_clutter_profile();        // a populated scratch directory
+StressProfile aged_machine_profile();      // weeks of 9x uptime
+
+/// Runs a campaign with the profile applied (delegates to Campaign::run with
+/// the hooks filled in).
+core::CampaignResult run_stressed_campaign(sim::OsVariant variant,
+                                           const core::Registry& registry,
+                                           const StressProfile& profile,
+                                           core::CampaignOptions opt = {});
+
+}  // namespace ballista::harness

@@ -1,0 +1,46 @@
+#include "harness/world.h"
+
+#include "clib/crt.h"
+#include "posix/posix.h"
+#include "win32/win32.h"
+
+namespace ballista::harness {
+
+std::unique_ptr<World> build_world() {
+  auto world = std::make_unique<World>();
+  core::register_base_types(world->types);
+  clib::register_clib(world->types, world->registry);
+  win32::register_win32(world->types, world->registry);
+  posix_api::register_posix(world->types, world->registry);
+  return world;
+}
+
+std::vector<core::CampaignResult> run_all_variants(
+    const World& world, const core::CampaignOptions& opt) {
+  std::vector<core::CampaignResult> out;
+  out.reserve(sim::kAllVariants.size());
+  for (sim::OsVariant v : sim::kAllVariants)
+    out.push_back(core::Campaign::run(v, world.registry, opt));
+  return out;
+}
+
+std::vector<core::CampaignResult> desktop_subset(
+    std::vector<core::CampaignResult> all) {
+  std::vector<core::CampaignResult> out;
+  for (auto& r : all) {
+    switch (r.variant) {
+      case sim::OsVariant::kWin95:
+      case sim::OsVariant::kWin98:
+      case sim::OsVariant::kWin98SE:
+      case sim::OsVariant::kWinNT4:
+      case sim::OsVariant::kWin2000:
+        out.push_back(std::move(r));
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ballista::harness

@@ -1,0 +1,30 @@
+// The assembled paper catalog: every data type and all 237 Win32 + 91 POSIX
+// MuTs (plus the shared C library and CE UNICODE twins) in one bundle.
+#pragma once
+
+#include <memory>
+
+#include "core/ballista.h"
+
+namespace ballista::harness {
+
+struct World {
+  core::TypeLibrary types;
+  core::Registry registry;
+};
+
+/// Builds the full catalog the paper tested: generic pools, clib, Win32 and
+/// POSIX types and MuTs.
+std::unique_ptr<World> build_world();
+
+/// Runs the paper's complete experiment: one campaign per OS variant with
+/// identical seeds, returning results ordered as kAllVariants.
+std::vector<core::CampaignResult> run_all_variants(
+    const World& world, const core::CampaignOptions& opt = {});
+
+/// The five desktop Windows results (for Figure 2 voting) out of a
+/// run_all_variants result set.
+std::vector<core::CampaignResult> desktop_subset(
+    std::vector<core::CampaignResult> all);
+
+}  // namespace ballista::harness

@@ -1,0 +1,52 @@
+#include "posix/posix.h"
+
+namespace ballista::posix_api {
+
+FdCheck check_fd(CallContext& ctx, std::uint64_t fd,
+                 std::optional<sim::ObjectKind> want) {
+  FdCheck out;
+  const std::int64_t sfd = static_cast<std::int32_t>(fd);
+  if (sfd < 0) {
+    out.fail = ctx.posix_fail(EBADF);
+    return out;
+  }
+  out.obj = ctx.proc().handles().get(static_cast<std::uint64_t>(sfd));
+  if (out.obj == nullptr || (want && out.obj->kind() != *want)) {
+    out.obj = nullptr;
+    out.fail = ctx.posix_fail(EBADF);
+  }
+  return out;
+}
+
+PosixPath read_posix_path(CallContext& ctx, Addr a) {
+  PosixPath out;
+  std::string s;
+  const MemStatus st = ctx.k_read_str(a, &s, 4097);
+  if (st != MemStatus::kOk) {
+    out.fail = ctx.posix_mem_fail(st);
+    return out;
+  }
+  if (s.empty()) {
+    ctx.proc().set_errno(ENOENT);
+    out.fail = core::error_reported(static_cast<std::uint64_t>(-1));
+    return out;
+  }
+  if (s.size() > 4096) {
+    ctx.proc().set_errno(ENAMETOOLONG);
+    out.fail = core::error_reported(static_cast<std::uint64_t>(-1));
+    return out;
+  }
+  out.path = std::move(s);
+  return out;
+}
+
+void register_posix(core::TypeLibrary& lib, core::Registry& reg) {
+  register_posix_types(lib);
+  register_posix_mem(lib, reg);
+  register_posix_fs(lib, reg);
+  register_posix_io(lib, reg);
+  register_posix_proc(lib, reg);
+  register_posix_env(lib, reg);
+}
+
+}  // namespace ballista::posix_api

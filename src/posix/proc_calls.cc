@@ -1,0 +1,303 @@
+// POSIX Process Primitives group (25 calls): fork/exec/wait, signals,
+// timers, scheduling (including the POSIX.1b realtime-extension calls the
+// paper's test values covered).
+#include <vector>
+
+#include "posix/posix.h"
+
+namespace ballista::posix_api {
+
+namespace {
+
+using core::ok;
+
+CallOutcome do_fork(CallContext& ctx) {
+  // Single-task model: the "child" is a process object the parent can wait
+  // on; the call itself returns the child pid.
+  auto child = std::make_shared<sim::ProcessObject>(ctx.proc().pid() + 1);
+  child->set_signaled(true);  // exits immediately
+  child->exit_code = 0;
+  ctx.proc().handles().insert(std::move(child));
+  return ok(ctx.proc().pid() + 1);
+}
+
+CallOutcome do_wait(CallContext& ctx) {
+  const Addr status = ctx.arg_addr(0);
+  // Find an exited child.
+  for (const auto& [h, obj] : ctx.proc().handles().entries()) {
+    if (obj->kind() == sim::ObjectKind::kProcess && obj->signaled()) {
+      if (status != 0) {
+        const MemStatus st = ctx.k_write_u32(
+            status, static_cast<sim::ProcessObject*>(obj.get())->exit_code);
+        if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+      }
+      return ok(static_cast<sim::ProcessObject*>(obj.get())->pid());
+    }
+  }
+  return ctx.posix_fail(ECHILD);
+}
+
+CallOutcome do_waitpid(CallContext& ctx) {
+  const std::int64_t pid = static_cast<std::int32_t>(ctx.arg32(0));
+  const Addr status = ctx.arg_addr(1);
+  const std::uint32_t options = ctx.arg32(2);
+  if ((options & ~3u) != 0) return ctx.posix_fail(EINVAL);
+  for (const auto& [h, obj] : ctx.proc().handles().entries()) {
+    if (obj->kind() != sim::ObjectKind::kProcess) continue;
+    auto* p = static_cast<sim::ProcessObject*>(obj.get());
+    if (pid > 0 && p->pid() != static_cast<std::uint64_t>(pid)) continue;
+    if (!p->signaled()) {
+      if (options & 1) return ok(0);  // WNOHANG
+      ctx.proc().hang("waitpid(running child)");
+    }
+    if (status != 0) {
+      const MemStatus st = ctx.k_write_u32(status, p->exit_code);
+      if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+    }
+    return ok(p->pid());
+  }
+  return ctx.posix_fail(ECHILD);
+}
+
+CallOutcome do_kill(CallContext& ctx) {
+  const std::int64_t pid = static_cast<std::int32_t>(ctx.arg32(0));
+  const std::int64_t sig = static_cast<std::int32_t>(ctx.arg32(1));
+  if (sig < 0 || sig > 63) return ctx.posix_fail(EINVAL);
+  if (pid == static_cast<std::int64_t>(ctx.proc().pid()) || pid == 0) {
+    if (sig == 0) return ok(0);  // existence probe
+    if (sig == 9 || sig == 15 || sig == 11) {
+      // Delivering a fatal signal to ourselves terminates the task: the
+      // harness classifies the escape as an Abort, which is exactly what a
+      // real kill(getpid(), SIGKILL) test case produces.
+      throw sim::SimFault(
+          sim::Fault{sim::FaultType::kAccessViolation, 0, false});
+    }
+    return ok(0);  // non-fatal signals: default-ignored in this model
+  }
+  if (pid == 1) return ctx.posix_fail(EPERM);
+  return ctx.posix_fail(ESRCH);
+}
+
+CallOutcome do_raise(CallContext& ctx) {
+  const std::int64_t sig = static_cast<std::int32_t>(ctx.arg32(0));
+  if (sig < 0 || sig > 63) return ctx.posix_fail(EINVAL);
+  if (sig == 9 || sig == 15 || sig == 11) {
+    throw sim::SimFault(
+        sim::Fault{sim::FaultType::kAccessViolation, 0, false});
+  }
+  return ok(0);
+}
+
+CallOutcome do_sigaction(CallContext& ctx) {
+  const std::int64_t sig = static_cast<std::int32_t>(ctx.arg32(0));
+  if (sig < 1 || sig > 63 || sig == 9 || sig == 19)  // KILL/STOP not catchable
+    return ctx.posix_fail(EINVAL);
+  const Addr act = ctx.arg_addr(1);
+  const Addr old = ctx.arg_addr(2);
+  // glibc converts between the userland and kernel sigaction layouts in user
+  // space before trapping — bad struct pointers fault in the wrapper, one of
+  // the few places Linux system-call tests abort.
+  auto& mem = ctx.proc().mem();
+  if (act != 0) (void)mem.read_u32(act, sim::Access::kUser);
+  if (old != 0) mem.write_u32(old, 0, sim::Access::kUser);
+  return ok(0);
+}
+
+CallOutcome do_sigprocmask(CallContext& ctx) {
+  const std::int64_t how = static_cast<std::int32_t>(ctx.arg32(0));
+  if (how < 0 || how > 2) return ctx.posix_fail(EINVAL);
+  const Addr set = ctx.arg_addr(1);
+  const Addr old = ctx.arg_addr(2);
+  // Same glibc user-space conversion shim as sigaction.
+  auto& mem = ctx.proc().mem();
+  if (set != 0) (void)mem.read_u64(set, sim::Access::kUser);
+  if (old != 0) mem.write_u64(old, 0, sim::Access::kUser);
+  return ok(0);
+}
+
+CallOutcome do_sigpending(CallContext& ctx) {
+  const MemStatus st = ctx.k_write_u64(ctx.arg_addr(0), 0);
+  if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+  return ok(0);
+}
+
+CallOutcome do_alarm(CallContext& /*ctx*/) {
+  // Always succeeds; returns seconds remaining on any previous alarm.
+  return ok(0);
+}
+
+CallOutcome do_sleep(CallContext& ctx) {
+  const std::uint32_t secs = ctx.arg32(0);
+  ctx.machine().advance_ticks(std::min<std::uint64_t>(secs, 86400) * 1000);
+  return ok(0);
+}
+
+CallOutcome do_nanosleep(CallContext& ctx) {
+  const Addr req = ctx.arg_addr(0);
+  const Addr rem = ctx.arg_addr(1);
+  std::uint8_t ts[16];
+  MemStatus st = ctx.k_read(req, ts);
+  if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+  std::int64_t sec = 0, nsec = 0;
+  for (int i = 7; i >= 0; --i) sec = (sec << 8) | ts[i];
+  for (int i = 15; i >= 8; --i) nsec = (nsec << 8) | ts[i];
+  if (sec < 0 || nsec < 0 || nsec >= 1'000'000'000)
+    return ctx.posix_fail(EINVAL);
+  ctx.machine().advance_ticks(static_cast<std::uint64_t>(sec) * 1000);
+  if (rem != 0) {
+    std::uint8_t zero[16] = {};
+    st = ctx.k_write(rem, zero);
+    if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+  }
+  return ok(0);
+}
+
+CallOutcome do_sched_yield(CallContext& ctx) {
+  ctx.machine().advance_ticks(1);
+  return ok(0);
+}
+
+CallOutcome do_sched_getparam(CallContext& ctx) {
+  const std::int64_t pid = static_cast<std::int32_t>(ctx.arg32(0));
+  if (pid < 0) return ctx.posix_fail(EINVAL);
+  if (pid != 0 && pid != static_cast<std::int64_t>(ctx.proc().pid()))
+    return ctx.posix_fail(ESRCH);
+  const MemStatus st = ctx.k_write_u32(ctx.arg_addr(1), 0);
+  if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+  return ok(0);
+}
+
+CallOutcome do_sched_setparam(CallContext& ctx) {
+  const std::int64_t pid = static_cast<std::int32_t>(ctx.arg32(0));
+  if (pid < 0) return ctx.posix_fail(EINVAL);
+  if (pid != 0 && pid != static_cast<std::int64_t>(ctx.proc().pid()))
+    return ctx.posix_fail(ESRCH);
+  std::uint32_t prio = 0;
+  const MemStatus st = ctx.k_read_u32(ctx.arg_addr(1), &prio);
+  if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+  if (prio > 99) return ctx.posix_fail(EINVAL);
+  return ok(0);
+}
+
+CallOutcome do_sched_priority_range(CallContext& ctx, bool maximum) {
+  const std::int64_t policy = static_cast<std::int32_t>(ctx.arg32(0));
+  if (policy < 0 || policy > 2) return ctx.posix_fail(EINVAL);
+  if (policy == 0) return ok(0);  // SCHED_OTHER: 0..0
+  return ok(maximum ? 99 : 1);
+}
+
+CallOutcome do_sched_rr_get_interval(CallContext& ctx) {
+  const std::int64_t pid = static_cast<std::int32_t>(ctx.arg32(0));
+  if (pid < 0) return ctx.posix_fail(EINVAL);
+  if (pid != 0 && pid != static_cast<std::int64_t>(ctx.proc().pid()))
+    return ctx.posix_fail(ESRCH);
+  std::uint8_t ts[16] = {};
+  ts[8] = 100;  // some nanoseconds
+  const MemStatus st = ctx.k_write(ctx.arg_addr(1), ts);
+  if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+  return ok(0);
+}
+
+CallOutcome do_getpid(CallContext& ctx) { return ok(ctx.proc().pid()); }
+CallOutcome do_getppid(CallContext& ctx) { return ok(ctx.proc().pid() - 1); }
+
+/// execve is a system call (argv copied by the kernel: EFAULT on garbage);
+/// execv is its glibc wrapper, which *walks argv in user space* first to
+/// append the environment — one of the places Linux aborts.
+CallOutcome exec_common(CallContext& ctx, bool user_space_walk) {
+  const auto pr = read_posix_path(ctx, ctx.arg_addr(0));
+  if (!pr.path) return pr.fail;
+  const Addr argv = ctx.arg_addr(1);
+  auto& mem = ctx.proc().mem();
+  int argc = 0;
+  for (; argc < 4096; ++argc) {
+    std::uint32_t p = 0;
+    if (user_space_walk) {
+      p = mem.read_u32(argv + 4ull * argc, sim::Access::kUser);
+    } else {
+      const MemStatus st = ctx.k_read_u32(argv + 4ull * argc, &p);
+      if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+    }
+    if (p == 0) break;
+    // Each argument string is copied in as well.
+    if (user_space_walk) {
+      (void)mem.read_u8(p, sim::Access::kUser);
+    } else {
+      std::string s;
+      const MemStatus st = ctx.k_read_str(p, &s, 4096);
+      if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
+    }
+  }
+  auto& fs = ctx.machine().fs();
+  auto node = fs.resolve(fs.parse(*pr.path, ctx.proc().cwd()));
+  if (node == nullptr) return ctx.posix_fail(ENOENT);
+  if (node->is_dir()) return ctx.posix_fail(EACCES);
+  // A successful exec never returns; for the harness this is a graceful
+  // completion of the test case.
+  return ok(0);
+}
+
+CallOutcome do_setsid(CallContext& ctx) {
+  return ok(ctx.proc().pid());
+}
+
+CallOutcome do_setpgid(CallContext& ctx) {
+  const std::int64_t pid = static_cast<std::int32_t>(ctx.arg32(0));
+  const std::int64_t pgid = static_cast<std::int32_t>(ctx.arg32(1));
+  if (pgid < 0) return ctx.posix_fail(EINVAL);
+  if (pid != 0 && pid != static_cast<std::int64_t>(ctx.proc().pid()))
+    return ctx.posix_fail(ESRCH);
+  return ok(0);
+}
+
+CallOutcome do_getpgrp(CallContext& ctx) { return ok(ctx.proc().pid()); }
+
+CallOutcome do_nice(CallContext& ctx) {
+  const std::int64_t inc = static_cast<std::int32_t>(ctx.arg32(0));
+  if (inc < -20) return ctx.posix_fail(EPERM);  // raising priority: not root
+  return ok(std::min<std::int64_t>(inc, 19));
+}
+
+}  // namespace
+
+void register_posix_proc(core::TypeLibrary& lib, core::Registry& reg) {
+  Defs d{lib, reg};
+  const auto G = core::FuncGroup::kProcessPrimitives;
+  const auto A = core::ApiKind::kPosixSys;
+  const auto L = core::kMaskLinux;
+
+  d.add("fork", A, G, {}, do_fork, L);
+  d.add("wait", A, G, {"buf"}, do_wait, L);
+  d.add("waitpid", A, G, {"pid_arg", "buf", "flags32"}, do_waitpid, L);
+  d.add("kill", A, G, {"pid_arg", "sig_num"}, do_kill, L);
+  d.add("raise", A, G, {"sig_num"}, do_raise, L);
+  d.add("sigaction", A, G, {"sig_num", "sigset_ptr", "sigset_ptr"},
+        do_sigaction, L);
+  d.add("sigprocmask", A, G, {"int", "sigset_ptr", "sigset_ptr"},
+        do_sigprocmask, L);
+  d.add("sigpending", A, G, {"sigset_ptr"}, do_sigpending, L);
+  d.add("alarm", A, G, {"size"}, do_alarm, L);
+  d.add("sleep", A, G, {"size"}, do_sleep, L);
+  d.add("nanosleep", A, G, {"timespec_ptr", "timespec_ptr"}, do_nanosleep, L);
+  d.add("sched_yield", A, G, {}, do_sched_yield, L);
+  d.add("sched_getparam", A, G, {"pid_arg", "buf"}, do_sched_getparam, L);
+  d.add("sched_setparam", A, G, {"pid_arg", "buf"}, do_sched_setparam, L);
+  d.add("sched_get_priority_max", A, G, {"int"},
+        [](CallContext& c) { return do_sched_priority_range(c, true); }, L);
+  d.add("sched_get_priority_min", A, G, {"int"},
+        [](CallContext& c) { return do_sched_priority_range(c, false); }, L);
+  d.add("sched_rr_get_interval", A, G, {"pid_arg", "timespec_ptr"},
+        do_sched_rr_get_interval, L);
+  d.add("getpid", A, G, {}, do_getpid, L);
+  d.add("getppid", A, G, {}, do_getppid, L);
+  d.add("execve", A, G, {"path", "argv_ptr", "argv_ptr"},
+        [](CallContext& c) { return exec_common(c, false); }, L);
+  d.add("execv", A, G, {"path", "argv_ptr"},
+        [](CallContext& c) { return exec_common(c, true); }, L);
+  d.add("setsid", A, G, {}, do_setsid, L);
+  d.add("setpgid", A, G, {"pid_arg", "pid_arg"}, do_setpgid, L);
+  d.add("getpgrp", A, G, {}, do_getpgrp, L);
+  d.add("nice", A, G, {"int"}, do_nice, L);
+}
+
+}  // namespace ballista::posix_api

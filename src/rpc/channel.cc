@@ -1,0 +1,26 @@
+#include "rpc/channel.h"
+
+namespace ballista::rpc {
+
+Channel::Channel() {
+  auto to_a = std::make_shared<std::deque<Frame>>();
+  auto to_b = std::make_shared<std::deque<Frame>>();
+  a_.inbox_ = to_a;
+  a_.peer_inbox_ = to_b;
+  b_.inbox_ = to_b;
+  b_.peer_inbox_ = to_a;
+}
+
+void Endpoint::send(Frame frame) {
+  peer_inbox_->push_back(std::move(frame));
+  ++sent_;
+}
+
+std::optional<Frame> Endpoint::try_recv() {
+  if (inbox_->empty()) return std::nullopt;
+  Frame f = std::move(inbox_->front());
+  inbox_->pop_front();
+  return f;
+}
+
+}  // namespace ballista::rpc

@@ -1,0 +1,43 @@
+// Deterministic in-memory duplex message channel standing in for the
+// harness's ONC RPC link.  Two endpoints, each with its own inbound frame
+// queue; single-threaded poll-style delivery keeps campaigns reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace ballista::rpc {
+
+using Frame = std::vector<std::uint8_t>;
+
+class Channel;
+
+class Endpoint {
+ public:
+  void send(Frame frame);
+  std::optional<Frame> try_recv();
+  bool has_pending() const noexcept { return !inbox_->empty(); }
+  std::size_t frames_sent() const noexcept { return sent_; }
+
+ private:
+  friend class Channel;
+  std::shared_ptr<std::deque<Frame>> inbox_;
+  std::shared_ptr<std::deque<Frame>> peer_inbox_;
+  std::size_t sent_ = 0;
+};
+
+/// Owns the two queues; hand `a()` to one side and `b()` to the other.
+class Channel {
+ public:
+  Channel();
+  Endpoint& a() noexcept { return a_; }
+  Endpoint& b() noexcept { return b_; }
+
+ private:
+  Endpoint a_, b_;
+};
+
+}  // namespace ballista::rpc

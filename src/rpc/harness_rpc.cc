@@ -1,0 +1,271 @@
+#include "rpc/harness_rpc.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "core/executor.h"
+#include "core/generator.h"
+
+namespace ballista::rpc {
+
+namespace {
+
+core::CaseCode code_of(const core::CaseResult& r) {
+  switch (r.outcome) {
+    case core::Outcome::kAbort: return core::CaseCode::kAbort;
+    case core::Outcome::kRestart: return core::CaseCode::kRestart;
+    case core::Outcome::kCatastrophic: return core::CaseCode::kCatastrophic;
+    default: break;
+  }
+  if (r.wrong_error) return core::CaseCode::kHindering;
+  return r.success_no_error ? core::CaseCode::kPassNoError
+                            : core::CaseCode::kPassWithError;
+}
+
+void apply_code(core::MutStats& stats, core::CaseCode code,
+                bool any_exceptional) {
+  ++stats.executed;
+  stats.case_codes.push_back(code);
+  switch (code) {
+    case core::CaseCode::kAbort: ++stats.aborts; break;
+    case core::CaseCode::kRestart: ++stats.restarts; break;
+    case core::CaseCode::kCatastrophic: break;
+    case core::CaseCode::kHindering:
+      ++stats.passes;
+      ++stats.hindering;
+      break;
+    case core::CaseCode::kPassNoError:
+      ++stats.passes;
+      if (any_exceptional) ++stats.silent_candidates;
+      break;
+    case core::CaseCode::kPassWithError:
+      ++stats.passes;
+      break;
+  }
+}
+
+bool tuple_has_exceptional(const core::MuT& mut, std::uint64_t cap,
+                           std::uint64_t seed, std::uint64_t index) {
+  core::TupleGenerator gen(mut, cap, seed);
+  for (const core::TestValue* v : gen.tuple(index))
+    if (v->exceptional) return true;
+  return false;
+}
+
+}  // namespace
+
+TestClient::TestClient(Endpoint& endpoint, sim::OsVariant variant,
+                       const core::Registry& registry, std::uint64_t cap,
+                       std::uint64_t seed)
+    : endpoint_(endpoint),
+      registry_(registry),
+      machine_(std::make_unique<sim::Machine>(variant)),
+      cap_(cap),
+      seed_(seed) {}
+
+bool TestClient::poll() {
+  const auto frame = endpoint_.try_recv();
+  if (!frame) return true;
+  const auto msg = decode(*frame);
+  if (!msg) return true;  // malformed frames are dropped
+  if (msg->type == MessageType::kShutdown) return false;
+  if (msg->type != MessageType::kTestRequest) return true;
+
+  const core::MuT* mut = registry_.find(msg->request.mut_name);
+  Message reply;
+  reply.type = MessageType::kTestResult;
+  reply.result.mut_name = msg->request.mut_name;
+  reply.result.case_index = msg->request.case_index;
+  if (mut == nullptr) {
+    reply.result.code = core::CaseCode::kHindering;
+    reply.result.detail = "unknown MuT";
+    endpoint_.send(encode(reply));
+    return true;
+  }
+
+  core::TupleGenerator gen(*mut, cap_, seed_);
+  const auto tuple = gen.tuple(msg->request.case_index);
+  core::Executor executor(*machine_);
+  const core::CaseResult r = executor.run_case(*mut, tuple);
+  core::CaseResult normalized = r;
+  reply.result.code = code_of(normalized);
+  reply.result.detail = r.detail;
+  endpoint_.send(encode(reply));
+
+  if (machine_->crashed()) {
+    machine_->reboot();
+    ++reboots_;
+    Message notice;
+    notice.type = MessageType::kRebootNotice;
+    notice.result.mut_name = msg->request.mut_name;
+    notice.result.case_index = msg->request.case_index;
+    notice.result.code = core::CaseCode::kCatastrophic;
+    notice.result.detail = "machine rebooted";
+    endpoint_.send(encode(notice));
+  }
+  return true;
+}
+
+TestServer::TestServer(Endpoint& endpoint, const core::Registry& registry,
+                       std::uint64_t cap, std::uint64_t seed)
+    : endpoint_(endpoint), registry_(registry), cap_(cap), seed_(seed) {}
+
+core::CampaignResult TestServer::run(sim::OsVariant variant,
+                                     const std::function<void()>& pump) {
+  core::CampaignResult result;
+  result.variant = variant;
+
+  auto await = [&](MessageType want) -> std::optional<Message> {
+    for (int spin = 0; spin < 1000; ++spin) {
+      if (const auto frame = endpoint_.try_recv()) {
+        const auto msg = decode(*frame);
+        if (msg && msg->type == want) return msg;
+        continue;  // skip interleaved notices
+      }
+      pump();
+    }
+    return std::nullopt;
+  };
+
+  auto run_case = [&](const core::MuT& mut, std::uint64_t index)
+      -> std::optional<TestResult> {
+    Message req;
+    req.type = MessageType::kTestRequest;
+    req.request = {mut.name, index};
+    endpoint_.send(encode(req));
+    const auto reply = await(MessageType::kTestResult);
+    if (!reply) return std::nullopt;
+    return reply->result;
+  };
+
+  for (const core::MuT* mut : registry_.for_variant(variant)) {
+    core::MutStats stats;
+    stats.mut = mut;
+    core::TupleGenerator gen(*mut, cap_, seed_);
+    stats.planned = gen.count();
+    for (std::uint64_t i = 0; i < gen.count(); ++i) {
+      const auto res = run_case(*mut, i);
+      if (!res) throw std::runtime_error("client stopped responding");
+      ++result.total_cases;
+      const bool exceptional = tuple_has_exceptional(*mut, cap_, seed_, i);
+      apply_code(stats, res->code, exceptional);
+      if (res->code == core::CaseCode::kCatastrophic) {
+        stats.catastrophic = true;
+        stats.crash_case = static_cast<std::int64_t>(i);
+        stats.crash_detail = res->detail;
+        ++result.reboots;  // the client reboots and notifies
+        // Single-test reproduction over the wire.
+        const auto again = run_case(*mut, i);
+        stats.crash_reproducible_single =
+            again && again->code == core::CaseCode::kCatastrophic;
+        if (stats.crash_reproducible_single) ++result.reboots;
+        break;  // this MuT's test set is incomplete
+      }
+    }
+    result.stats.push_back(std::move(stats));
+  }
+
+  Message bye;
+  bye.type = MessageType::kShutdown;
+  endpoint_.send(encode(bye));
+  pump();
+  return result;
+}
+
+CeFileDropClient::CeFileDropClient(sim::Machine& target,
+                                   const core::Registry& registry,
+                                   std::uint64_t cap, std::uint64_t seed)
+    : target_(target), registry_(registry), cap_(cap), seed_(seed) {}
+
+bool CeFileDropClient::execute(const TestRequest& request) {
+  const core::MuT* mut = registry_.find(request.mut_name);
+  if (mut == nullptr) return true;
+  core::TupleGenerator gen(*mut, cap_, seed_);
+  const auto tuple = gen.tuple(request.case_index);
+  core::Executor executor(target_);
+  const core::CaseResult r = executor.run_case(*mut, tuple);
+
+  // "taking five to ten seconds per test case" (§3.2).
+  target_.advance_ticks(7'000);
+
+  if (target_.crashed()) return false;  // no result file ever appears
+
+  auto& fs = target_.fs();
+  const auto path = fs.parse(std::string("/tmp/") + std::string(kResultFile),
+                             sim::FileSystem::root_path());
+  auto node = fs.create_file(path, false, true);
+  if (node == nullptr) {
+    // The test case itself may have renamed or removed the scratch
+    // directory; restore the canonical tree so reporting can continue.
+    fs.reset_fixture();
+    node = fs.create_file(path, false, true);
+  }
+  const std::string line =
+      request.mut_name + " " + std::to_string(request.case_index) + " " +
+      std::to_string(static_cast<int>(code_of(r)));
+  node->data().assign(line.begin(), line.end());
+  return true;
+}
+
+core::CampaignResult run_ce_file_drop_campaign(const core::Registry& registry,
+                                               std::uint64_t cap,
+                                               std::uint64_t seed) {
+  core::CampaignResult result;
+  result.variant = sim::OsVariant::kWinCE;
+  sim::Machine target(sim::OsVariant::kWinCE);
+  CeFileDropClient client(target, registry, cap, seed);
+
+  auto read_result_file = [&]() -> std::optional<core::CaseCode> {
+    auto& fs = target.fs();
+    const auto path =
+        fs.parse(std::string("/tmp/") +
+                     std::string(CeFileDropClient::kResultFile),
+                 sim::FileSystem::root_path());
+    auto node = fs.resolve(path);
+    if (node == nullptr) return std::nullopt;
+    const std::string text(node->data().begin(), node->data().end());
+    fs.remove_file(path);
+    const auto last_space = text.find_last_of(' ');
+    if (last_space == std::string::npos) return std::nullopt;
+    const int code = std::atoi(text.c_str() + last_space + 1);
+    if (code < 0 || code > static_cast<int>(core::CaseCode::kHindering))
+      return std::nullopt;
+    return static_cast<core::CaseCode>(code);
+  };
+
+  for (const core::MuT* mut : registry.for_variant(sim::OsVariant::kWinCE)) {
+    core::MutStats stats;
+    stats.mut = mut;
+    core::TupleGenerator gen(*mut, cap, seed);
+    stats.planned = gen.count();
+    for (std::uint64_t i = 0; i < gen.count(); ++i) {
+      const bool alive = client.execute({mut->name, i});
+      ++result.total_cases;
+      if (!alive) {
+        // No result file will appear: the NT host concludes the target died.
+        stats.catastrophic = true;
+        stats.crash_case = static_cast<std::int64_t>(i);
+        stats.crash_detail = target.crash_reason();
+        apply_code(stats, core::CaseCode::kCatastrophic, true);
+        target.reboot();
+        ++result.reboots;
+        // Single-test reproduction after reboot.
+        const bool again = client.execute({mut->name, i});
+        stats.crash_reproducible_single = !again;
+        if (!again) {
+          target.reboot();
+          ++result.reboots;
+        }
+        break;
+      }
+      const auto code = read_result_file();
+      if (!code) continue;  // lost result: skip (kept visible in planned)
+      const bool exceptional = tuple_has_exceptional(*mut, cap, seed, i);
+      apply_code(stats, *code, exceptional);
+    }
+    result.stats.push_back(std::move(stats));
+  }
+  return result;
+}
+
+}  // namespace ballista::rpc

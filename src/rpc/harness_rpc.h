@@ -1,0 +1,94 @@
+// The split harness: a TestServer that generates test cases and aggregates
+// results, and two client styles —
+//   TestClient       the desktop arrangement (direct request/result frames),
+//   CeFileDropClient Windows CE's arrangement (§3.2): the client runs the
+//                    case and drops the result into a file on the target's
+//                    filesystem; the server polls for the file, reads it and
+//                    deletes it.  "Unfortunately this means tests are several
+//                    orders of magnitude slower" — modeled as extra simulated
+//                    clock ticks per case.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/campaign.h"
+#include "rpc/channel.h"
+#include "rpc/protocol.h"
+
+namespace ballista::rpc {
+
+class TestClient {
+ public:
+  TestClient(Endpoint& endpoint, sim::OsVariant variant,
+             const core::Registry& registry, std::uint64_t cap,
+             std::uint64_t seed);
+
+  /// Services at most one pending request.  Returns false once a shutdown
+  /// frame has been consumed (or the inbox is empty).
+  bool poll();
+
+  sim::Machine& machine() noexcept { return *machine_; }
+  int reboots() const noexcept { return reboots_; }
+
+ private:
+  Endpoint& endpoint_;
+  const core::Registry& registry_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::uint64_t cap_;
+  std::uint64_t seed_;
+  int reboots_ = 0;
+};
+
+/// CE-style client: identical execution, but results travel through the
+/// simulated target filesystem instead of the message channel.
+class CeFileDropClient {
+ public:
+  CeFileDropClient(sim::Machine& target, const core::Registry& registry,
+                   std::uint64_t cap, std::uint64_t seed);
+
+  /// Runs one case and drops "/tmp/ballista_result.txt" onto the target.
+  /// Returns false if the machine is down (caller must reboot via server
+  /// protocol).
+  bool execute(const TestRequest& request);
+
+  static constexpr std::string_view kResultFile = "ballista_result.txt";
+
+ private:
+  sim::Machine& target_;
+  const core::Registry& registry_;
+  std::uint64_t cap_;
+  std::uint64_t seed_;
+};
+
+/// Campaign-by-RPC: drives a client over a channel and reproduces the same
+/// per-MuT statistics an in-process Campaign::run produces.
+class TestServer {
+ public:
+  TestServer(Endpoint& endpoint, const core::Registry& registry,
+             std::uint64_t cap = core::kDefaultCap,
+             std::uint64_t seed = 0x8a11157a);
+
+  /// Runs the full campaign against a polling client.  `pump` is invoked
+  /// whenever the server is waiting so the caller can run client polls
+  /// (single-threaded cooperative scheduling).
+  core::CampaignResult run(sim::OsVariant variant,
+                           const std::function<void()>& pump);
+
+ private:
+  Endpoint& endpoint_;
+  const core::Registry& registry_;
+  std::uint64_t cap_;
+  std::uint64_t seed_;
+};
+
+/// The NT-side host loop for the CE arrangement: generates cases, asks the
+/// file-drop client to execute each, waits for the result file to appear on
+/// the target (a missing file after a case means the machine went down),
+/// reads and deletes it, and aggregates — reproducing §3.2's protocol.
+core::CampaignResult run_ce_file_drop_campaign(
+    const core::Registry& registry, std::uint64_t cap = core::kDefaultCap,
+    std::uint64_t seed = 0x8a11157a);
+
+}  // namespace ballista::rpc

@@ -1,0 +1,96 @@
+#include "rpc/protocol.h"
+
+namespace ballista::rpc {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& buf;
+  std::size_t pos = 0;
+
+  std::optional<std::uint64_t> u64() {
+    if (pos + 8 > buf.size()) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+      v = (v << 8) | buf[pos + static_cast<std::size_t>(i)];
+    pos += 8;
+    return v;
+  }
+
+  std::optional<std::string> str() {
+    const auto len = u64();
+    if (!len || pos + *len > buf.size() || *len > (1u << 20))
+      return std::nullopt;
+    std::string s(buf.begin() + static_cast<std::ptrdiff_t>(pos),
+                  buf.begin() + static_cast<std::ptrdiff_t>(pos + *len));
+    pos += *len;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(m.type));
+  switch (m.type) {
+    case MessageType::kTestRequest:
+      put_str(out, m.request.mut_name);
+      put_u64(out, m.request.case_index);
+      break;
+    case MessageType::kTestResult:
+    case MessageType::kRebootNotice:
+      put_str(out, m.result.mut_name);
+      put_u64(out, m.result.case_index);
+      out.push_back(static_cast<std::uint8_t>(m.result.code));
+      put_str(out, m.result.detail);
+      break;
+    case MessageType::kShutdown:
+      break;
+  }
+  return out;
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) return std::nullopt;
+  Message m;
+  switch (frame[0]) {
+    case 1: m.type = MessageType::kTestRequest; break;
+    case 2: m.type = MessageType::kTestResult; break;
+    case 3: m.type = MessageType::kRebootNotice; break;
+    case 4: m.type = MessageType::kShutdown; break;
+    default: return std::nullopt;
+  }
+  Reader r{frame, 1};
+  if (m.type == MessageType::kTestRequest) {
+    auto name = r.str();
+    auto idx = r.u64();
+    if (!name || !idx) return std::nullopt;
+    m.request = {std::move(*name), *idx};
+  } else if (m.type != MessageType::kShutdown) {
+    auto name = r.str();
+    auto idx = r.u64();
+    if (!name || !idx || r.pos >= frame.size()) return std::nullopt;
+    const std::uint8_t code = frame[r.pos++];
+    if (code > static_cast<std::uint8_t>(core::CaseCode::kHindering))
+      return std::nullopt;
+    auto detail = r.str();
+    if (!detail) return std::nullopt;
+    m.result = {std::move(*name), *idx, static_cast<core::CaseCode>(code),
+                std::move(*detail)};
+  }
+  if (r.pos != frame.size()) return std::nullopt;  // trailing garbage
+  return m;
+}
+
+}  // namespace ballista::rpc

@@ -1,0 +1,52 @@
+// Wire protocol for the split testing harness.
+//
+// The paper's harness separates test *generation and reporting* (the Ballista
+// server) from test *execution and control* (the client on the system under
+// test), originally over ONC RPC — and, for Windows CE, over a serial link
+// with results reported through files (§3.2).  This module reproduces that
+// architecture with deterministic in-memory transports: length-framed
+// messages with explicit little-endian serialization, exactly as they would
+// travel over a socket.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace ballista::rpc {
+
+enum class MessageType : std::uint8_t {
+  kTestRequest = 1,   // server -> client: run case N of MuT X
+  kTestResult = 2,    // client -> server: outcome of one case
+  kRebootNotice = 3,  // client -> server: machine went down, rebooted
+  kShutdown = 4,      // server -> client: campaign over
+};
+
+struct TestRequest {
+  std::string mut_name;
+  std::uint64_t case_index = 0;
+};
+
+struct TestResult {
+  std::string mut_name;
+  std::uint64_t case_index = 0;
+  core::CaseCode code = core::CaseCode::kPassWithError;
+  std::string detail;
+};
+
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  TestRequest request;  // valid when type == kTestRequest
+  TestResult result;    // valid when type == kTestResult / kRebootNotice
+};
+
+/// Length-framed little-endian encoding.
+std::vector<std::uint8_t> encode(const Message& m);
+/// Decodes one frame; nullopt on malformed input (robustness matters in a
+/// robustness-testing harness).
+std::optional<Message> decode(const std::vector<std::uint8_t>& frame);
+
+}  // namespace ballista::rpc

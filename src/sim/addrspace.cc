@@ -1,0 +1,249 @@
+#include "sim/addrspace.h"
+
+#include <algorithm>
+
+namespace ballista::sim {
+
+SharedArena::SharedArena() = default;
+
+Page* SharedArena::page(Addr a) {
+  const Addr pg = page_of(a);
+  auto it = pages_.find(pg);
+  if (it == pages_.end()) {
+    auto p = std::make_unique<Page>();
+    // Arena pages are readable/writable from kernel context; the AddressSpace
+    // decides what user mode may do with them per personality.
+    p->perm = kPermRW;
+    p->kernel_only = true;
+    it = pages_.emplace(pg, std::move(p)).first;
+  }
+  return it->second.get();
+}
+
+void AddressSpace::map(Addr start, std::uint64_t size, std::uint8_t perm,
+                       bool kernel_only) {
+  const Addr first = page_of(start);
+  const Addr last = page_of(start + (size ? size - 1 : 0));
+  for (Addr pg = first; pg <= last; ++pg) {
+    auto& slot = pages_[pg];
+    if (!slot) slot = std::make_unique<Page>();
+    slot->perm = perm;
+    slot->kernel_only = kernel_only;
+  }
+}
+
+void AddressSpace::unmap(Addr start, std::uint64_t size) {
+  const Addr first = page_of(start);
+  const Addr last = page_of(start + (size ? size - 1 : 0));
+  for (Addr pg = first; pg <= last; ++pg) pages_.erase(pg);
+}
+
+void AddressSpace::protect(Addr start, std::uint64_t size, std::uint8_t perm) {
+  const Addr first = page_of(start);
+  const Addr last = page_of(start + (size ? size - 1 : 0));
+  for (Addr pg = first; pg <= last; ++pg) {
+    auto it = pages_.find(pg);
+    if (it != pages_.end()) it->second->perm = perm;
+  }
+}
+
+bool AddressSpace::is_mapped(Addr a) const noexcept {
+  if (pages_.count(page_of(a)) != 0) return true;
+  return arena_ != nullptr && arena_->contains(a);
+}
+
+std::uint8_t AddressSpace::perm_of(Addr a) const noexcept {
+  auto it = pages_.find(page_of(a));
+  if (it != pages_.end()) return it->second->perm;
+  if (arena_ != nullptr && arena_->contains(a)) return kPermRW;
+  return kPermNone;
+}
+
+Addr AddressSpace::alloc(std::uint64_t size, std::uint8_t perm) {
+  if (size == 0) size = 1;
+  const Addr base = bump_;
+  map(base, size, perm);
+  // Advance past the allocation plus one permanently-unmapped guard page.
+  const std::uint64_t pages = (size + kPageSize - 1) / kPageSize;
+  bump_ += (pages + 1) * kPageSize;
+  return base;
+}
+
+Addr AddressSpace::alloc_bytes(std::span<const std::uint8_t> bytes,
+                               std::uint8_t perm) {
+  const Addr base = alloc(std::max<std::uint64_t>(bytes.size(), 1), kPermRW);
+  write_bytes(base, bytes, Access::kKernel);
+  if (perm != kPermRW) protect(base, std::max<std::uint64_t>(bytes.size(), 1), perm);
+  return base;
+}
+
+Addr AddressSpace::alloc_cstr(std::string_view s, std::uint8_t perm) {
+  const Addr base = alloc(s.size() + 1, kPermRW);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    write_u8(base + i, static_cast<std::uint8_t>(s[i]), Access::kKernel);
+  write_u8(base + s.size(), 0, Access::kKernel);
+  if (perm != kPermRW) protect(base, s.size() + 1, perm);
+  return base;
+}
+
+Addr AddressSpace::alloc_wstr(std::u16string_view s, std::uint8_t perm) {
+  const Addr base = alloc((s.size() + 1) * 2, kPermRW);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    write_u16(base + 2 * i, static_cast<std::uint16_t>(s[i]), Access::kKernel);
+  write_u16(base + 2 * s.size(), 0, Access::kKernel);
+  if (perm != kPermRW) protect(base, (s.size() + 1) * 2, perm);
+  return base;
+}
+
+Addr AddressSpace::alloc_dangling(std::uint64_t size) {
+  const Addr base = alloc(size);
+  unmap(base, size);
+  return base;
+}
+
+Page* AddressSpace::page_for(Addr a, Access m, bool write) const {
+  auto it = pages_.find(page_of(a));
+  Page* p = nullptr;
+  if (it != pages_.end()) {
+    p = it->second.get();
+  } else if (arena_ != nullptr && arena_->contains(a)) {
+    p = arena_->page(a);
+  }
+  if (p == nullptr) fault(FaultType::kAccessViolation, a, write);
+  if (m == Access::kUser) {
+    if (p->kernel_only) fault(FaultType::kAccessViolation, a, write);
+    if (write && (p->perm & kPermWrite) == 0)
+      fault(FaultType::kAccessViolation, a, true);
+    if (!write && (p->perm & kPermRead) == 0)
+      fault(FaultType::kAccessViolation, a, false);
+  } else {
+    // Kernel mode bypasses the user/kernel split.  Writes to read-only user
+    // pages still fault (write-protect honoured in ring 0, as on NT/Linux;
+    // Win9x hazard paths never reach here with a read-only page unnoticed
+    // because the arena pages are RW).
+    if (write && (p->perm & kPermWrite) == 0)
+      fault(FaultType::kAccessViolation, a, true);
+  }
+  return p;
+}
+
+void AddressSpace::fault(FaultType t, Addr a, bool write) {
+  throw SimFault(Fault{t, a, write});
+}
+
+void AddressSpace::check_alignment(Addr a, std::uint64_t size,
+                                   bool write) const {
+  if (strict_align_ && size > 1 && (a % size) != 0)
+    fault(FaultType::kMisalignment, a, write);
+}
+
+std::uint8_t AddressSpace::read_u8(Addr a, Access m) const {
+  return page_for(a, m, false)->data[a % kPageSize];
+}
+
+void AddressSpace::write_u8(Addr a, std::uint8_t v, Access m) {
+  page_for(a, m, true)->data[a % kPageSize] = v;
+}
+
+// Multi-byte accessors are assembled byte-wise so values spanning a page
+// boundary behave correctly (and fault on exactly the missing page).
+std::uint16_t AddressSpace::read_u16(Addr a, Access m) const {
+  check_alignment(a, 2, false);
+  return static_cast<std::uint16_t>(read_u8(a, m) | (read_u8(a + 1, m) << 8));
+}
+
+std::uint32_t AddressSpace::read_u32(Addr a, Access m) const {
+  check_alignment(a, 4, false);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | read_u8(a + i, m);
+  return v;
+}
+
+std::uint64_t AddressSpace::read_u64(Addr a, Access m) const {
+  check_alignment(a, 8, false);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | read_u8(a + i, m);
+  return v;
+}
+
+void AddressSpace::write_u16(Addr a, std::uint16_t v, Access m) {
+  check_alignment(a, 2, true);
+  write_u8(a, static_cast<std::uint8_t>(v), m);
+  write_u8(a + 1, static_cast<std::uint8_t>(v >> 8), m);
+}
+
+void AddressSpace::write_u32(Addr a, std::uint32_t v, Access m) {
+  check_alignment(a, 4, true);
+  for (int i = 0; i < 4; ++i)
+    write_u8(a + i, static_cast<std::uint8_t>(v >> (8 * i)), m);
+}
+
+void AddressSpace::write_u64(Addr a, std::uint64_t v, Access m) {
+  check_alignment(a, 8, true);
+  for (int i = 0; i < 8; ++i)
+    write_u8(a + i, static_cast<std::uint8_t>(v >> (8 * i)), m);
+}
+
+void AddressSpace::read_bytes(Addr a, std::span<std::uint8_t> out,
+                              Access m) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = read_u8(a + i, m);
+}
+
+void AddressSpace::write_bytes(Addr a, std::span<const std::uint8_t> in,
+                               Access m) {
+  for (std::size_t i = 0; i < in.size(); ++i) write_u8(a + i, in[i], m);
+}
+
+std::string AddressSpace::read_cstr(Addr a, std::size_t max_len,
+                                    Access m) const {
+  std::string s;
+  for (std::size_t i = 0; i < max_len; ++i) {
+    const std::uint8_t c = read_u8(a + i, m);
+    if (c == 0) return s;
+    s.push_back(static_cast<char>(c));
+  }
+  return s;
+}
+
+std::u16string AddressSpace::read_wstr(Addr a, std::size_t max_len,
+                                       Access m) const {
+  std::u16string s;
+  for (std::size_t i = 0; i < max_len; ++i) {
+    const std::uint16_t c = read_u16(a + 2 * i, m);
+    if (c == 0) return s;
+    s.push_back(static_cast<char16_t>(c));
+  }
+  return s;
+}
+
+void AddressSpace::write_cstr(Addr a, std::string_view s, Access m) {
+  for (std::size_t i = 0; i < s.size(); ++i)
+    write_u8(a + i, static_cast<std::uint8_t>(s[i]), m);
+  write_u8(a + s.size(), 0, m);
+}
+
+bool AddressSpace::check_range(Addr a, std::uint64_t size, bool write,
+                               Access m) const noexcept {
+  if (size == 0) return true;
+  const Addr first = page_base(a);
+  const Addr last = page_base(a + size - 1);
+  for (Addr pg = first;; pg += kPageSize) {
+    auto it = pages_.find(page_of(pg));
+    const Page* p = nullptr;
+    if (it != pages_.end()) {
+      p = it->second.get();
+    } else if (arena_ != nullptr && arena_->contains(pg)) {
+      // The arena is demand-created; treat it as present for probing.
+      return m == Access::kKernel;
+    }
+    if (p == nullptr) return false;
+    if (m == Access::kUser && p->kernel_only) return false;
+    if (write && (p->perm & kPermWrite) == 0) return false;
+    if (!write && (p->perm & kPermRead) == 0) return false;
+    if (pg == last) break;
+  }
+  if (strict_align_ && size >= 2 && size <= 8 && (a % size) != 0) return false;
+  return true;
+}
+
+}  // namespace ballista::sim

@@ -1,0 +1,173 @@
+// Simulated paged virtual address space.
+//
+// Every pointer a test case passes to a simulated API is an address in this
+// space.  API implementations and CRT personalities dereference those
+// addresses through this MMU, so access violations, misalignment faults and
+// dangling-pointer behaviour *emerge* exactly where a real OS would take the
+// trap, instead of being scripted per test value.
+//
+// Layout (mirrors the 32-bit Windows/Linux splits the paper's systems used):
+//   [0x0000_0000, 0x0001_0000)  low system area — unmapped for user code; on
+//                               Win9x personalities the kernel sees it as part
+//                               of the writable shared arena (the historical
+//                               cause of NULL-pointer kernel corruption)
+//   [0x0001_0000, 0x8000_0000)  private user pages
+//   [0x8000_0000, 0xC000_0000)  shared arena (Win9x: mapped into every process
+//                               and writable from kernel context; NT/Linux:
+//                               kernel-only, user access faults)
+//   [0xC000_0000, ...)          kernel image / VxD space
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "sim/fault.h"
+
+namespace ballista::sim {
+
+inline constexpr Addr kPageSize = 4096;
+inline constexpr Addr kLowSystemEnd = 0x0001'0000;
+inline constexpr Addr kUserBase = 0x0001'0000;
+inline constexpr Addr kSharedArenaBase = 0x8000'0000;
+inline constexpr Addr kSharedArenaEnd = 0xC000'0000;
+inline constexpr Addr kKernelBase = 0xC000'0000;
+
+inline constexpr Addr page_of(Addr a) noexcept { return a / kPageSize; }
+inline constexpr Addr page_base(Addr a) noexcept { return a & ~(kPageSize - 1); }
+
+enum PermBits : std::uint8_t {
+  kPermNone = 0,
+  kPermRead = 1,
+  kPermWrite = 2,
+  kPermRW = kPermRead | kPermWrite,
+};
+
+/// Whether an access is made by application code or by the kernel on the
+/// application's behalf.  Kernel-mode accesses bypass the user/kernel split
+/// (that bypass is precisely the Win9x failure mode the paper documents).
+enum class Access : std::uint8_t { kUser, kKernel };
+
+struct Page {
+  std::uint8_t perm = kPermRW;
+  bool kernel_only = false;
+  std::array<std::uint8_t, kPageSize> data{};
+};
+
+/// Pages shared machine-wide.  On Win9x personalities this models the shared
+/// arena plus the low system area; writes from kernel context land here and
+/// persist across test processes, which is how the paper's `*`-marked
+/// "reproducible only inside the harness" crashes arise.
+class SharedArena {
+ public:
+  SharedArena();
+
+  bool contains(Addr a) const noexcept {
+    return a < kLowSystemEnd || (a >= kSharedArenaBase && a < kSharedArenaEnd);
+  }
+
+  Page* page(Addr a);
+
+  /// Number of kernel-context writes that have landed in the arena since the
+  /// last reboot.  The Machine consults this to decide on deferred panics.
+  int corruption() const noexcept { return corruption_; }
+  void note_corruption() noexcept { ++corruption_; }
+  void clear() {
+    pages_.clear();
+    corruption_ = 0;
+  }
+
+ private:
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  int corruption_ = 0;
+};
+
+/// One process's view of memory.  Owns its private pages; optionally sees a
+/// machine-wide SharedArena for the shared ranges.
+class AddressSpace {
+ public:
+  /// @param arena        machine-shared pages, or nullptr if this personality
+  ///                     maps nothing user-visible there
+  /// @param strict_align raise kMisalignment on unaligned multi-byte access
+  ///                     (Windows CE hardware; x86 personalities tolerate it)
+  explicit AddressSpace(SharedArena* arena = nullptr, bool strict_align = false)
+      : arena_(arena), strict_align_(strict_align) {}
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // --- mapping -------------------------------------------------------------
+
+  /// Maps [start, start+size) with the given permissions (page granular).
+  void map(Addr start, std::uint64_t size, std::uint8_t perm,
+           bool kernel_only = false);
+  void unmap(Addr start, std::uint64_t size);
+  void protect(Addr start, std::uint64_t size, std::uint8_t perm);
+  bool is_mapped(Addr a) const noexcept;
+  /// Permission byte of the page containing `a`, or kPermNone if unmapped.
+  std::uint8_t perm_of(Addr a) const noexcept;
+
+  // --- allocation helpers (for harness-constructed argument buffers) --------
+
+  /// Bump allocator with an unmapped guard page after every allocation, so
+  /// one-past-the-end overruns fault like a real heap with guard pages.
+  Addr alloc(std::uint64_t size, std::uint8_t perm = kPermRW);
+  Addr alloc_bytes(std::span<const std::uint8_t> bytes,
+                   std::uint8_t perm = kPermRW);
+  Addr alloc_cstr(std::string_view s, std::uint8_t perm = kPermRW);
+  /// UTF-16 style string of 16-bit units, NUL-terminated.
+  Addr alloc_wstr(std::u16string_view s, std::uint8_t perm = kPermRW);
+  /// Allocates then immediately unmaps: a dangling pointer test value.
+  Addr alloc_dangling(std::uint64_t size);
+
+  // --- access (throws SimFault) ---------------------------------------------
+
+  std::uint8_t read_u8(Addr a, Access m = Access::kUser) const;
+  std::uint16_t read_u16(Addr a, Access m = Access::kUser) const;
+  std::uint32_t read_u32(Addr a, Access m = Access::kUser) const;
+  std::uint64_t read_u64(Addr a, Access m = Access::kUser) const;
+  void write_u8(Addr a, std::uint8_t v, Access m = Access::kUser);
+  void write_u16(Addr a, std::uint16_t v, Access m = Access::kUser);
+  void write_u32(Addr a, std::uint32_t v, Access m = Access::kUser);
+  void write_u64(Addr a, std::uint64_t v, Access m = Access::kUser);
+
+  void read_bytes(Addr a, std::span<std::uint8_t> out,
+                  Access m = Access::kUser) const;
+  void write_bytes(Addr a, std::span<const std::uint8_t> in,
+                   Access m = Access::kUser);
+
+  /// Reads a NUL-terminated string, faulting wherever the walk leaves mapped
+  /// memory.  `max_len` bounds runaway scans over huge mapped regions.
+  std::string read_cstr(Addr a, std::size_t max_len = 1 << 20,
+                        Access m = Access::kUser) const;
+  std::u16string read_wstr(Addr a, std::size_t max_len = 1 << 20,
+                           Access m = Access::kUser) const;
+  void write_cstr(Addr a, std::string_view s, Access m = Access::kUser);
+
+  /// True if [a, a+size) is fully readable/writable in the given mode, without
+  /// faulting — the probe primitive NT-class kernels use.
+  bool check_range(Addr a, std::uint64_t size, bool write,
+                   Access m = Access::kKernel) const noexcept;
+
+  bool strict_alignment() const noexcept { return strict_align_; }
+  SharedArena* arena() const noexcept { return arena_; }
+
+  /// Total private pages currently mapped (leak checks in tests).
+  std::size_t mapped_page_count() const noexcept { return pages_.size(); }
+
+ private:
+  Page* page_for(Addr a, Access m, bool write) const;
+  [[noreturn]] static void fault(FaultType t, Addr a, bool write);
+  void check_alignment(Addr a, std::uint64_t size, bool write) const;
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  SharedArena* arena_;
+  bool strict_align_;
+  Addr bump_ = 0x0010'0000;  // start of the harness allocation region
+};
+
+}  // namespace ballista::sim

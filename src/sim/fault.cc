@@ -1,0 +1,26 @@
+#include "sim/fault.h"
+
+namespace ballista::sim {
+
+std::string_view fault_type_name(FaultType t) noexcept {
+  switch (t) {
+    case FaultType::kAccessViolation: return "ACCESS_VIOLATION";
+    case FaultType::kMisalignment: return "DATATYPE_MISALIGNMENT";
+    case FaultType::kStackOverflow: return "STACK_OVERFLOW";
+    case FaultType::kArithmetic: return "ARITHMETIC";
+    case FaultType::kIllegalInstruction: return "ILLEGAL_INSTRUCTION";
+  }
+  return "UNKNOWN";
+}
+
+std::string SimFault::describe(const Fault& f) {
+  std::string s{fault_type_name(f.type)};
+  s += f.is_write ? " writing " : " reading ";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(f.address));
+  s += buf;
+  return s;
+}
+
+}  // namespace ballista::sim

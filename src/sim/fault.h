@@ -1,0 +1,67 @@
+// Hardware-class fault model for the simulated machine.
+//
+// A test task that lets one of these escape is classified as an Abort failure
+// (paper §2: "Abort failures are an abnormal termination ... as the result of
+// a signal or thrown exception").  A fault taken *inside the kernel* on an OS
+// personality that does not probe user pointers escalates to a KernelPanic,
+// which the harness classifies as Catastrophic.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ballista::sim {
+
+using Addr = std::uint64_t;
+
+/// Hardware exception classes observed by the paper (§3.2 lists the Windows CE
+/// set; POSIX signals are the Unix analogues).
+enum class FaultType : std::uint8_t {
+  kAccessViolation,    // SIGSEGV / EXCEPTION_ACCESS_VIOLATION
+  kMisalignment,       // SIGBUS  / EXCEPTION_DATATYPE_MISALIGNMENT
+  kStackOverflow,      // EXCEPTION_STACK_OVERFLOW
+  kArithmetic,         // SIGFPE  / EXCEPTION_INT_DIVIDE_BY_ZERO
+  kIllegalInstruction  // SIGILL
+};
+
+std::string_view fault_type_name(FaultType t) noexcept;
+
+struct Fault {
+  FaultType type = FaultType::kAccessViolation;
+  Addr address = 0;
+  bool is_write = false;
+};
+
+/// Thrown by the MMU when simulated code touches invalid memory.  Propagates
+/// like the hardware trap it models; the executor catches it at the task
+/// boundary.
+class SimFault : public std::runtime_error {
+ public:
+  explicit SimFault(const Fault& f)
+      : std::runtime_error(describe(f)), fault_(f) {}
+
+  const Fault& fault() const noexcept { return fault_; }
+
+ private:
+  static std::string describe(const Fault& f);
+  Fault fault_;
+};
+
+/// Thrown when kernel-mode code corrupts machine state beyond recovery: the
+/// simulated Blue Screen.  Only a Machine::reboot() clears it.
+class KernelPanic : public std::runtime_error {
+ public:
+  explicit KernelPanic(std::string reason)
+      : std::runtime_error("kernel panic: " + reason) {}
+};
+
+/// Thrown when a simulated task blocks with no possible waker; the executor's
+/// watchdog converts it to a Restart failure.
+class TaskHang : public std::runtime_error {
+ public:
+  explicit TaskHang(std::string site)
+      : std::runtime_error("task hang in " + site) {}
+};
+
+}  // namespace ballista::sim

@@ -1,0 +1,179 @@
+#include "sim/filesystem.h"
+
+#include <algorithm>
+
+namespace ballista::sim {
+
+FileSystem::FileSystem() : root_(std::make_shared<FsNode>("", true)) {
+  reset_fixture();
+}
+
+ParsedPath FileSystem::parse(std::string_view path, const ParsedPath& cwd) const {
+  ParsedPath out;
+  if (path.empty()) {
+    out.valid = false;
+    return out;
+  }
+  // Strip a drive prefix ("C:", "D:", ...).  A drive prefix implies an
+  // absolute interpretation even without a following separator.
+  bool absolute = false;
+  if (path.size() >= 2 && path[1] == ':' &&
+      (std::isalpha(static_cast<unsigned char>(path[0])) != 0)) {
+    path.remove_prefix(2);
+    absolute = true;
+  }
+  if (!path.empty() && (path.front() == '/' || path.front() == '\\'))
+    absolute = true;
+  if (!absolute) out.components = cwd.components;
+
+  std::string comp;
+  auto flush = [&] {
+    if (comp.empty() || comp == ".") {
+      comp.clear();
+      return;
+    }
+    if (comp == "..") {
+      if (!out.components.empty()) out.components.pop_back();
+    } else {
+      out.components.push_back(comp);
+    }
+    comp.clear();
+  };
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      flush();
+    } else if (c == '\0') {
+      out.valid = false;
+      return out;
+    } else {
+      comp.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string FileSystem::to_string(const ParsedPath& p) {
+  std::string s;
+  for (const auto& c : p.components) {
+    s += '/';
+    s += c;
+  }
+  return s.empty() ? "/" : s;
+}
+
+std::shared_ptr<FsNode> FileSystem::resolve(const ParsedPath& p) const {
+  if (!p.valid) return nullptr;
+  std::shared_ptr<FsNode> node = root_;
+  for (const auto& c : p.components) {
+    if (!node->is_dir()) return nullptr;
+    auto it = node->children().find(c);
+    if (it == node->children().end()) return nullptr;
+    node = it->second;
+  }
+  return node;
+}
+
+std::shared_ptr<FsNode> FileSystem::resolve_parent(const ParsedPath& p,
+                                                   std::string* leaf) const {
+  if (!p.valid || p.components.empty()) return nullptr;
+  ParsedPath parent = p;
+  *leaf = parent.components.back();
+  parent.components.pop_back();
+  auto node = resolve(parent);
+  if (node == nullptr || !node->is_dir()) return nullptr;
+  return node;
+}
+
+std::shared_ptr<FsNode> FileSystem::create_file(const ParsedPath& p,
+                                                bool fail_if_exists,
+                                                bool truncate_existing) {
+  std::string leaf;
+  auto parent = resolve_parent(p, &leaf);
+  if (parent == nullptr || leaf.empty()) return nullptr;
+  auto it = parent->children().find(leaf);
+  if (it != parent->children().end()) {
+    auto existing = it->second;
+    if (existing->is_dir() || fail_if_exists) return nullptr;
+    if (existing->read_only) return nullptr;
+    if (truncate_existing) existing->data().clear();
+    return existing;
+  }
+  auto node = std::make_shared<FsNode>(leaf, false);
+  parent->children().emplace(leaf, node);
+  return node;
+}
+
+std::shared_ptr<FsNode> FileSystem::create_dir(const ParsedPath& p) {
+  std::string leaf;
+  auto parent = resolve_parent(p, &leaf);
+  if (parent == nullptr || leaf.empty()) return nullptr;
+  if (parent->children().count(leaf) != 0) return nullptr;
+  auto node = std::make_shared<FsNode>(leaf, true);
+  parent->children().emplace(leaf, node);
+  return node;
+}
+
+bool FileSystem::remove_file(const ParsedPath& p) {
+  std::string leaf;
+  auto parent = resolve_parent(p, &leaf);
+  if (parent == nullptr) return false;
+  auto it = parent->children().find(leaf);
+  if (it == parent->children().end() || it->second->is_dir()) return false;
+  if (it->second->read_only) return false;
+  it->second->nlink -= 1;
+  parent->children().erase(it);
+  return true;
+}
+
+bool FileSystem::remove_dir(const ParsedPath& p) {
+  std::string leaf;
+  auto parent = resolve_parent(p, &leaf);
+  if (parent == nullptr) return false;
+  auto it = parent->children().find(leaf);
+  if (it == parent->children().end() || !it->second->is_dir()) return false;
+  if (!it->second->children().empty()) return false;
+  parent->children().erase(it);
+  return true;
+}
+
+bool FileSystem::rename(const ParsedPath& from, const ParsedPath& to) {
+  std::string from_leaf;
+  auto from_parent = resolve_parent(from, &from_leaf);
+  if (from_parent == nullptr) return false;
+  auto it = from_parent->children().find(from_leaf);
+  if (it == from_parent->children().end()) return false;
+
+  std::string to_leaf;
+  auto to_parent = resolve_parent(to, &to_leaf);
+  if (to_parent == nullptr || to_leaf.empty()) return false;
+  if (to_parent->children().count(to_leaf) != 0) return false;
+
+  auto node = it->second;
+  from_parent->children().erase(it);
+  to_parent->children().emplace(to_leaf, node);
+  return true;
+}
+
+void FileSystem::reset_fixture() {
+  root_->children().clear();
+  ParsedPath scratch;
+  scratch.components = {"tmp"};
+  create_dir(scratch);
+
+  ParsedPath fixture;
+  fixture.components = {"tmp", "fixture.dat"};
+  auto f = create_file(fixture, false, true);
+  const std::string payload =
+      "ballista fixture file: twelve dozen dependable bytes of test data.\n";
+  f->data().assign(payload.begin(), payload.end());
+
+  ParsedPath ro;
+  ro.components = {"tmp", "readonly.dat"};
+  auto r = create_file(ro, false, true);
+  const std::string ro_payload = "read-only fixture\n";
+  r->data().assign(ro_payload.begin(), ro_payload.end());
+  r->read_only = true;
+}
+
+}  // namespace ballista::sim

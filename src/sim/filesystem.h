@@ -1,0 +1,99 @@
+// In-memory hierarchical filesystem shared by the Win32, POSIX and C-library
+// personalities.  Paths may use '/' or '\\' separators and an optional "C:"
+// drive prefix, so the same backing store serves both APIs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ballista::sim {
+
+struct FileTimes {
+  std::uint64_t creation = 0;
+  std::uint64_t last_access = 0;
+  std::uint64_t last_write = 0;
+};
+
+class FsNode {
+ public:
+  FsNode(std::string name, bool is_dir) : name_(std::move(name)), dir_(is_dir) {}
+
+  const std::string& name() const noexcept { return name_; }
+  bool is_dir() const noexcept { return dir_; }
+
+  std::vector<std::uint8_t>& data() noexcept { return data_; }
+  const std::vector<std::uint8_t>& data() const noexcept { return data_; }
+
+  std::map<std::string, std::shared_ptr<FsNode>>& children() noexcept {
+    return children_;
+  }
+  const std::map<std::string, std::shared_ptr<FsNode>>& children()
+      const noexcept {
+    return children_;
+  }
+
+  bool read_only = false;
+  bool hidden = false;
+  FileTimes times;
+  /// Link count for POSIX semantics; unlink with open FileObjects keeps data
+  /// alive through the shared_ptr, as on a real Unix.
+  int nlink = 1;
+
+ private:
+  std::string name_;
+  bool dir_;
+  std::vector<std::uint8_t> data_;
+  std::map<std::string, std::shared_ptr<FsNode>> children_;
+};
+
+/// Normalized absolute path: component list from the root.
+struct ParsedPath {
+  std::vector<std::string> components;
+  bool valid = true;
+};
+
+class FileSystem {
+ public:
+  FileSystem();
+
+  /// Splits, normalizes ('.' / '..'), strips drive prefixes.  `cwd` supplies
+  /// the base for relative paths.
+  ParsedPath parse(std::string_view path, const ParsedPath& cwd) const;
+  static ParsedPath root_path() { return ParsedPath{}; }
+  static std::string to_string(const ParsedPath& p);
+
+  std::shared_ptr<FsNode> resolve(const ParsedPath& p) const;
+  /// Parent directory of `p` (nullptr if missing) plus final component name.
+  std::shared_ptr<FsNode> resolve_parent(const ParsedPath& p,
+                                         std::string* leaf) const;
+
+  /// Creates a regular file; fails if the parent is missing or a directory /
+  /// read-only file already exists there (unless truncate_existing).
+  std::shared_ptr<FsNode> create_file(const ParsedPath& p, bool fail_if_exists,
+                                      bool truncate_existing);
+  std::shared_ptr<FsNode> create_dir(const ParsedPath& p);
+  bool remove_file(const ParsedPath& p);
+  /// Fails unless the directory exists and is empty.
+  bool remove_dir(const ParsedPath& p);
+  bool rename(const ParsedPath& from, const ParsedPath& to);
+
+  std::shared_ptr<FsNode> root() const noexcept { return root_; }
+
+  /// Restores the canonical fixture tree the harness expects (a scratch
+  /// directory, a populated data file, a read-only file).  Called at machine
+  /// boot and between test cases by constructors that need clean state.
+  void reset_fixture();
+
+  static constexpr std::string_view kScratchDir = "tmp";
+  static constexpr std::string_view kFixtureFile = "tmp/fixture.dat";
+  static constexpr std::string_view kReadOnlyFile = "tmp/readonly.dat";
+
+ private:
+  std::shared_ptr<FsNode> root_;
+};
+
+}  // namespace ballista::sim

@@ -1,0 +1,72 @@
+#include "sim/machine.h"
+
+#include <cassert>
+
+namespace ballista::sim {
+
+Machine::Machine(OsVariant variant) : pers_(personality_for(variant)) {}
+
+std::unique_ptr<SimProcess> Machine::create_process() {
+  assert(!crashed_ && "cannot start a task on a crashed machine");
+  auto proc = std::make_unique<SimProcess>(
+      *this, next_pid_++, pers_.has_shared_arena ? &arena_ : nullptr,
+      pers_.strict_alignment, pers_.api == ApiFlavor::kPosix);
+
+  // Standard streams: three pipe-backed stream objects.
+  auto make_std = [&](bool /*writable*/) {
+    return std::make_shared<PipeObject>();
+  };
+  if (pers_.api == ApiFlavor::kPosix) {
+    proc->std_in = proc->handles().insert(make_std(false));
+    proc->std_out = proc->handles().insert(make_std(true));
+    proc->std_err = proc->handles().insert(make_std(true));
+  } else {
+    proc->std_in = proc->handles().insert(make_std(false));
+    proc->std_out = proc->handles().insert(make_std(true));
+    proc->std_err = proc->handles().insert(make_std(true));
+  }
+  return proc;
+}
+
+void Machine::kernel_enter() {
+  ticks_ += 1;
+  if (crashed_) throw KernelPanic(crash_reason_);
+  if (fuse_remaining_ > 0) {
+    if (--fuse_remaining_ == 0) {
+      panic("delayed failure from corrupted shared arena");
+    }
+  }
+}
+
+void Machine::panic(std::string reason) {
+  crashed_ = true;
+  crash_reason_ = std::move(reason);
+  ++panic_count_;
+  fuse_remaining_ = -1;
+  throw KernelPanic(crash_reason_);
+}
+
+void Machine::note_arena_corruption(Addr where, bool critical) {
+  arena_.note_corruption();
+  if (critical) {
+    panic("kernel write through user pointer corrupted system area");
+  }
+  (void)where;
+  if (fuse_remaining_ < 0) fuse_remaining_ = pers_.corruption_fuse;
+}
+
+void Machine::age_arena(int fuse_entries) {
+  if (!pers_.has_shared_arena || fuse_entries <= 0) return;
+  arena_.note_corruption();
+  fuse_remaining_ = fuse_entries;
+}
+
+void Machine::reboot() {
+  crashed_ = false;
+  crash_reason_.clear();
+  fuse_remaining_ = -1;
+  arena_.clear();
+  fs_.reset_fixture();
+}
+
+}  // namespace ballista::sim

@@ -1,0 +1,79 @@
+// The simulated computer: one OS personality, machine-wide state (shared
+// arena, filesystem, clock), the panic/reboot protocol, and the deferred
+// corruption fuse that models the paper's inter-test-interference crashes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/addrspace.h"
+#include "sim/filesystem.h"
+#include "sim/personality.h"
+#include "sim/process.h"
+
+namespace ballista::sim {
+
+class Machine {
+ public:
+  explicit Machine(OsVariant variant);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const Personality& personality() const noexcept { return pers_; }
+  OsVariant variant() const noexcept { return pers_.variant; }
+
+  FileSystem& fs() noexcept { return fs_; }
+  SharedArena& arena() noexcept { return arena_; }
+
+  /// Monotonic tick counter standing in for wall-clock time.
+  std::uint64_t ticks() const noexcept { return ticks_; }
+  void advance_ticks(std::uint64_t n) noexcept { ticks_ += n; }
+
+  bool crashed() const noexcept { return crashed_; }
+  const std::string& crash_reason() const noexcept { return crash_reason_; }
+  int panic_count() const noexcept { return panic_count_; }
+
+  /// Creates a fresh task.  Must not be called on a crashed machine.
+  std::unique_ptr<SimProcess> create_process();
+
+  /// Called on every system-call entry.  Burns the corruption fuse: once a
+  /// stray kernel write has landed in the shared arena, the machine survives
+  /// only `corruption_fuse` further kernel entries — so a single-test re-run
+  /// completes, but the full harness goes down (the paper's `*` failures).
+  void kernel_enter();
+
+  /// Immediate, attributable kernel death (unprobed kernel write hit a
+  /// critical structure, or page fault in kernel/VxD context).
+  [[noreturn]] void panic(std::string reason);
+
+  /// A kernel-context write landed in the shared arena.  `critical` writes
+  /// (low system area: interrupt vectors, VMM structures) kill the machine
+  /// now; others arm the deferred fuse.
+  void note_arena_corruption(Addr where, bool critical);
+
+  /// Clears the crash, the arena, the fuse and restores the disk fixture.
+  void reboot();
+
+  /// Pre-ages the machine for load testing (paper §5 future work; cf. the
+  /// intro's observation that Windows machines needed periodic reboots):
+  /// the shared arena already carries accumulated wear, and the machine will
+  /// survive only `fuse_entries` further kernel entries unless rebooted.
+  /// No-op on personalities without a shared arena.
+  void age_arena(int fuse_entries);
+
+ private:
+  Personality pers_;
+  SharedArena arena_;
+  FileSystem fs_;
+  std::uint64_t ticks_ = 1'000'000;
+  std::uint64_t next_pid_ = 100;
+  bool crashed_ = false;
+  std::string crash_reason_;
+  int panic_count_ = 0;
+  /// -1 = disarmed; otherwise kernel entries remaining until panic.
+  int fuse_remaining_ = -1;
+};
+
+}  // namespace ballista::sim

@@ -1,0 +1,42 @@
+#include "sim/personality.h"
+
+namespace ballista::sim {
+
+namespace {
+
+constexpr Personality kTable[] = {
+    {OsVariant::kWin95, "Windows 95", ApiFlavor::kWin32, CrtFlavor::kMsvcrt,
+     PointerPolicy::kStubCheckLoose,
+     /*has_shared_arena=*/true, /*strict_alignment=*/false,
+     /*crt_in_kernel=*/false, /*corruption_fuse=*/6,
+     /*prefers_unicode=*/false, /*slot_addressing=*/false},
+    {OsVariant::kWin98, "Windows 98", ApiFlavor::kWin32, CrtFlavor::kMsvcrt,
+     PointerPolicy::kStubCheckLoose, true, false, false, 6, false, false},
+    {OsVariant::kWin98SE, "Windows 98 SE", ApiFlavor::kWin32,
+     CrtFlavor::kMsvcrt, PointerPolicy::kStubCheckLoose, true, false, false, 6,
+     false, false},
+    {OsVariant::kWinNT4, "Windows NT 4.0", ApiFlavor::kWin32,
+     CrtFlavor::kMsvcrt, PointerPolicy::kProbeRaiseException, false, false,
+     false, 0, false, false},
+    {OsVariant::kWin2000, "Windows 2000", ApiFlavor::kWin32,
+     CrtFlavor::kMsvcrt, PointerPolicy::kProbeRaiseException, false, false,
+     false, 0, false, false},
+    {OsVariant::kWinCE, "Windows CE 2.11", ApiFlavor::kWin32,
+     CrtFlavor::kCeCrt, PointerPolicy::kProbeRaiseException, true,
+     /*strict_alignment=*/true, /*crt_in_kernel=*/true, 4,
+     /*prefers_unicode=*/true, /*slot_addressing=*/true},
+    {OsVariant::kLinux, "Linux 2.2", ApiFlavor::kPosix, CrtFlavor::kGlibc,
+     PointerPolicy::kProbeReturnError, false, false, false, 0, false, false},
+};
+
+}  // namespace
+
+const Personality& personality_for(OsVariant v) noexcept {
+  return kTable[static_cast<std::size_t>(v)];
+}
+
+std::string_view variant_name(OsVariant v) noexcept {
+  return personality_for(v).name;
+}
+
+}  // namespace ballista::sim

@@ -1,0 +1,99 @@
+// Per-variant OS "personalities": the validation architecture of each of the
+// seven operating systems the paper tested.
+//
+// The paper's central empirical finding is that CRASH-class outcomes track the
+// *architecture of argument validation*, not individual bug lists:
+//   - Linux system calls copy user data through copy_from_user/copy_to_user
+//     and turn bad pointers into EFAULT error returns (robust Pass);
+//   - NT-family kernels probe under SEH and raise access-violation exceptions
+//     back into user mode (counted as Abort by the paper's criteria);
+//   - Win9x user-mode stubs catch only the obvious garbage (often returning
+//     failure with no error code: Silent), while a set of hazardous paths
+//     passes pointers into kernel/VxD context unprobed — where a stray write
+//     lands in the machine-shared arena and kills the OS (Catastrophic);
+//   - Windows CE thunks C stdio into the kernel, so one invalid FILE* value
+//     took down the machine through seventeen different C functions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ballista::sim {
+
+enum class OsVariant : std::uint8_t {
+  kWin95,
+  kWin98,
+  kWin98SE,
+  kWinNT4,
+  kWin2000,
+  kWinCE,
+  kLinux,
+};
+
+inline constexpr std::array<OsVariant, 7> kAllVariants = {
+    OsVariant::kWin95,  OsVariant::kWin98,   OsVariant::kWin98SE,
+    OsVariant::kWinNT4, OsVariant::kWin2000, OsVariant::kWinCE,
+    OsVariant::kLinux,
+};
+
+inline constexpr std::array<OsVariant, 5> kDesktopWindows = {
+    OsVariant::kWin95, OsVariant::kWin98, OsVariant::kWin98SE,
+    OsVariant::kWinNT4, OsVariant::kWin2000,
+};
+
+enum class ApiFlavor : std::uint8_t { kWin32, kPosix };
+enum class CrtFlavor : std::uint8_t { kMsvcrt, kGlibc, kCeCrt };
+
+/// How a system call treats a user-supplied pointer it must read or write.
+enum class PointerPolicy : std::uint8_t {
+  /// Probe the range; on failure return an error code (Linux: EFAULT).
+  kProbeReturnError,
+  /// Probe the range; on failure raise an access-violation exception into the
+  /// calling task (NT/2000 Win32 layer) — the paper counts these as Aborts.
+  kProbeRaiseException,
+  /// User-mode stub rejects only obviously-bad pointers (null / low / kernel
+  /// range), frequently without setting an error code (a Silent failure);
+  /// anything subtler is dereferenced in user mode (Abort on fault).
+  kStubCheckLoose,
+};
+
+struct Personality {
+  OsVariant variant;
+  std::string_view name;
+  ApiFlavor api;
+  CrtFlavor crt;
+  PointerPolicy pointer_policy;
+  /// Machine-wide writable arena mapped into every process (Win9x/CE).  Only
+  /// personalities with an arena can be killed by stray kernel writes.
+  bool has_shared_arena;
+  /// Hardware faults on unaligned multi-byte access (the paper's CE device was
+  /// a Jornada 820; EXCEPTION_DATATYPE_MISALIGNMENT was observed there).
+  bool strict_alignment;
+  /// C stdio implemented as kernel thunks (Windows CE).
+  bool crt_in_kernel;
+  /// Kernel entries tolerated after arena corruption before the machine dies.
+  /// Models the paper's `*` failures, reproducible only inside the harness.
+  int corruption_fuse;
+  /// UNICODE-preferring C library (Windows CE, §4).
+  bool prefers_unicode;
+  /// Windows CE slot-based addressing: in kernel context, a process-relative
+  /// garbage address resolves into the machine-shared slot space, so stray
+  /// kernel dereferences land in (and corrupt) shared state rather than
+  /// faulting in a private mapping.
+  bool slot_addressing;
+};
+
+const Personality& personality_for(OsVariant v) noexcept;
+std::string_view variant_name(OsVariant v) noexcept;
+
+inline bool is_windows(OsVariant v) noexcept { return v != OsVariant::kLinux; }
+inline bool is_win9x(OsVariant v) noexcept {
+  return v == OsVariant::kWin95 || v == OsVariant::kWin98 ||
+         v == OsVariant::kWin98SE;
+}
+inline bool is_nt_family(OsVariant v) noexcept {
+  return v == OsVariant::kWinNT4 || v == OsVariant::kWin2000;
+}
+
+}  // namespace ballista::sim

@@ -1,0 +1,38 @@
+#include "sim/process.h"
+
+#include "sim/machine.h"
+
+namespace ballista::sim {
+
+SimProcess::SimProcess(Machine& machine, std::uint64_t pid, SharedArena* arena,
+                       bool strict_align, bool posix_fd_numbering)
+    : machine_(machine),
+      pid_(pid),
+      mem_(arena, strict_align),
+      cwd_(FileSystem::root_path()),
+      next_tid_(pid * 1000 + 1) {
+  handles_.set_posix_numbering(posix_fd_numbering);
+
+  // A modest stack so functions that "use" stack space have something real to
+  // overflow (guard page below).
+  constexpr Addr kStackTop = 0x7ff0'0000;
+  constexpr std::uint64_t kStackSize = 64 * 1024;
+  mem_.map(kStackTop - kStackSize, kStackSize, kPermRW);
+
+  main_thread_ = std::make_shared<ThreadObject>(next_tid_++, pid_);
+  self_object_ = std::make_shared<ProcessObject>(pid_);
+  default_heap_ = std::make_shared<HeapObject>(1 << 20, 0);
+
+  env_ = {{"PATH", "/bin:/usr/bin"},
+          {"HOME", "/tmp"},
+          {"TMP", "/tmp"},
+          {"TEMP", "/tmp"},
+          {"BALLISTA", "1"}};
+  cwd_.components = {"tmp"};
+}
+
+std::shared_ptr<ThreadObject> SimProcess::spawn_thread() {
+  return std::make_shared<ThreadObject>(next_tid_++, pid_);
+}
+
+}  // namespace ballista::sim

@@ -1,0 +1,68 @@
+#include "win32/win32.h"
+
+namespace ballista::win32 {
+
+HandleCheck check_handle(CallContext& ctx, std::uint64_t h,
+                         std::optional<sim::ObjectKind> want,
+                         std::uint64_t fail_ret) {
+  HandleCheck out;
+  const std::uint32_t h32 = static_cast<std::uint32_t>(h);
+  auto& proc = ctx.proc();
+  if (h32 == kPseudoCurrentProcess) {
+    out.obj = proc.self_object();
+  } else if (h32 == kPseudoCurrentThread) {
+    out.obj = proc.main_thread();
+  } else {
+    out.obj = proc.handles().get(h32);
+  }
+  const bool kind_ok =
+      out.obj != nullptr && (!want || out.obj->kind() == *want);
+  if (kind_ok) return out;
+
+  out.obj = nullptr;
+  if (ctx.os().pointer_policy == sim::PointerPolicy::kStubCheckLoose) {
+    // Win9x stub: the bad handle is "handled" by doing nothing and reporting
+    // success — a Silent failure when the argument was exceptional.
+    out.fail = core::silent_success(fail_ret == 0 ? 1 : fail_ret);
+  } else {
+    out.fail = ctx.win_fail(ERR_INVALID_HANDLE, fail_ret);
+  }
+  return out;
+}
+
+PathRead read_path_arg(CallContext& ctx, Addr a, std::uint64_t fail_ret) {
+  PathRead out;
+  std::string s;
+  const MemStatus st = ctx.k_read_str(a, &s, 4096);
+  if (st != MemStatus::kOk) {
+    out.fail = ctx.win_mem_fail(st, fail_ret);
+    return out;
+  }
+  if (s.empty()) {
+    out.fail = ctx.win_fail(ERR_INVALID_NAME, fail_ret);
+    return out;
+  }
+  if (s.size() >= 260) {  // MAX_PATH
+    out.fail = ctx.win_fail(ERR_INVALID_NAME, fail_ret);
+    return out;
+  }
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out.fail = ctx.win_fail(ERR_INVALID_NAME, fail_ret);
+      return out;
+    }
+  }
+  out.path = std::move(s);
+  return out;
+}
+
+void register_win32(core::TypeLibrary& lib, core::Registry& reg) {
+  register_win32_types(lib);
+  register_memory_calls(lib, reg);
+  register_file_calls(lib, reg);
+  register_io_calls(lib, reg);
+  register_proc_calls(lib, reg);
+  register_env_calls(lib, reg);
+}
+
+}  // namespace ballista::win32

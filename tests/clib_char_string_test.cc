@@ -1,0 +1,218 @@
+// Tests for the C char and C string families across CRT personalities —
+// including the paper's headline C-library contrast: glibc's raw ctype table
+// lookup aborts on out-of-domain ints where the MSVC CRT bounds-checks.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ballista::clib {
+namespace {
+
+using ballista::testing::run_named_case;
+using ballista::testing::shared_world;
+using core::Outcome;
+using sim::OsVariant;
+
+class CharFamily : public ::testing::TestWithParam<OsVariant> {};
+
+TEST_P(CharFamily, ValidCharactersClassifyCorrectly) {
+  sim::Machine m(GetParam());
+  const auto& w = shared_world();
+  EXPECT_EQ(run_named_case(w, GetParam(), "isalpha", {"ch_a"}, &m).outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, GetParam(), "isdigit", {"ch_0"}, &m).outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, GetParam(), "isspace", {"ch_space"}, &m).outcome,
+            Outcome::kPass);
+}
+
+TEST_P(CharFamily, EofIsAlwaysInDomain) {
+  sim::Machine m(GetParam());
+  const auto r =
+      run_named_case(shared_world(), GetParam(), "isalpha", {"ch_eof"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, CharFamily,
+                         ::testing::ValuesIn(sim::kAllVariants.begin(),
+                                             sim::kAllVariants.end()));
+
+TEST(CharFamilyContrast, GlibcAbortsOnOutOfDomainWindowsDoesNot) {
+  const auto& w = shared_world();
+  for (const char* value : {"ch_256", "ch_65536", "ch_intmax", "ch_intmin"}) {
+    sim::Machine linux_box(OsVariant::kLinux);
+    EXPECT_EQ(
+        run_named_case(w, OsVariant::kLinux, "isalpha", {value}, &linux_box)
+            .outcome,
+        Outcome::kAbort)
+        << value;
+    for (OsVariant v : {OsVariant::kWinNT4, OsVariant::kWin98,
+                        OsVariant::kWinCE}) {
+      sim::Machine m(v);
+      const auto r = run_named_case(w, v, "isalpha", {value}, &m);
+      EXPECT_EQ(r.outcome, Outcome::kPass) << value;
+      EXPECT_TRUE(r.success_no_error);  // the Windows Silent residue
+    }
+  }
+}
+
+TEST(CharFamilyContrast, SmallNegativesAreInGlibcTableRange) {
+  sim::Machine m(OsVariant::kLinux);
+  EXPECT_EQ(run_named_case(shared_world(), OsVariant::kLinux, "isalpha",
+                           {"ch_neg2"}, &m)
+                .outcome,
+            Outcome::kPass);
+}
+
+TEST(CharFamilyContrast, ToLowerMirrorsTheSplit) {
+  const auto& w = shared_world();
+  sim::Machine linux_box(OsVariant::kLinux);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "tolower", {"ch_intmax"},
+                           &linux_box)
+                .outcome,
+            Outcome::kAbort);
+  sim::Machine nt(OsVariant::kWinNT4);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kWinNT4, "tolower", {"ch_intmax"}, &nt)
+          .outcome,
+      Outcome::kPass);
+}
+
+class StringFamily : public ::testing::TestWithParam<OsVariant> {};
+
+TEST_P(StringFamily, StrlenOnValidAndBadPointers) {
+  const auto& w = shared_world();
+  sim::Machine m(GetParam());
+  EXPECT_EQ(run_named_case(w, GetParam(), "strlen", {"str_hello"}, &m).outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, GetParam(), "strlen", {"str_null"}, &m).outcome,
+            Outcome::kAbort);
+  EXPECT_EQ(
+      run_named_case(w, GetParam(), "strlen", {"str_dangling"}, &m).outcome,
+      Outcome::kAbort);
+  EXPECT_EQ(run_named_case(w, GetParam(), "strlen", {"str_unterminated"}, &m)
+                .outcome,
+            Outcome::kAbort);
+}
+
+TEST_P(StringFamily, StrcpyFaultsOnBadDestination) {
+  const auto& w = shared_world();
+  sim::Machine m(GetParam());
+  EXPECT_EQ(run_named_case(w, GetParam(), "strcpy", {"buf_64", "str_hello"},
+                           &m)
+                .outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, GetParam(), "strcpy",
+                           {"buf_readonly", "str_hello"}, &m)
+                .outcome,
+            Outcome::kAbort);
+}
+
+TEST_P(StringFamily, StrcmpAndStrstrWork) {
+  const auto& w = shared_world();
+  sim::Machine m(GetParam());
+  EXPECT_EQ(
+      run_named_case(w, GetParam(), "strcmp", {"str_hello", "str_hello"}, &m)
+          .outcome,
+      Outcome::kPass);
+  EXPECT_EQ(
+      run_named_case(w, GetParam(), "strstr", {"str_long", "str_empty"}, &m)
+          .outcome,
+      Outcome::kPass);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeskVariants, StringFamily,
+    ::testing::Values(OsVariant::kLinux, OsVariant::kWinNT4,
+                      OsVariant::kWin98, OsVariant::kWinCE));
+
+TEST(Strncpy, PadsToExactlyN) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  // strncpy(valid dst, "hello", 16): pass.
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "strncpy",
+                           {"buf_64", "str_hello", "size_16"}, &m)
+                .outcome,
+            Outcome::kPass);
+  // Huge n overruns the destination into the guard page: Abort.
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "strncpy",
+                           {"buf_64", "str_hello", "size_64k"}, &m)
+                .outcome,
+            Outcome::kAbort);
+}
+
+TEST(Strncpy, Win98HazardTurnsBadDestinationIntoDeferredCorruption) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kWin98);
+  const auto r = run_named_case(w, OsVariant::kWin98, "strncpy",
+                                {"buf_dangling", "str_hello", "size_16"}, &m);
+  // The staged fast path "succeeds" while corrupting the arena.
+  EXPECT_EQ(r.outcome, core::Outcome::kPass);
+  EXPECT_GT(m.arena().corruption(), 0);
+  // On Windows 95 the same case is an honest Abort (no hazard entry).
+  sim::Machine m95(OsVariant::kWin95);
+  EXPECT_EQ(run_named_case(w, OsVariant::kWin95, "strncpy",
+                           {"buf_dangling", "str_hello", "size_16"}, &m95)
+                .outcome,
+            Outcome::kAbort);
+}
+
+TEST(Strtok, ContinuationWithoutPriorScanAborts) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "strtok",
+                           {"buf_null", "str_hello"}, &m)
+                .outcome,
+            Outcome::kAbort);
+}
+
+TEST(Conversions, AtoiParsesAndStrtolValidatesBase) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kLinux, "atoi", {"str_hello"}, &m).outcome,
+      Outcome::kPass);
+  // Invalid base is a reported error (robust).
+  const auto r = run_named_case(w, OsVariant::kLinux, "strtol",
+                                {"str_hello", "buf_null", "int_64"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_FALSE(r.success_no_error);
+}
+
+TEST(WideTwins, RegisteredForCeOnly) {
+  const auto& w = shared_world();
+  const core::MuT* wcslen = w.registry.find("wcslen");
+  ASSERT_NE(wcslen, nullptr);
+  EXPECT_TRUE(wcslen->supported_on(OsVariant::kWinCE));
+  EXPECT_FALSE(wcslen->supported_on(OsVariant::kWinNT4));
+  EXPECT_EQ(wcslen->twin_of, "strlen");
+  EXPECT_TRUE(w.registry.find("strlen")->has_unicode_twin);
+}
+
+TEST(WideTwins, WcslenWalksUtf16) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kWinCE);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kWinCE, "wcslen", {"wstr_hello"}, &m)
+          .outcome,
+      Outcome::kPass);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kWinCE, "wcslen", {"wstr_null"}, &m)
+          .outcome,
+      Outcome::kAbort);
+}
+
+TEST(WideTwins, TcsncpyDeferredCrashOnCe) {
+  const auto& w = shared_world();
+  const core::MuT* t = w.registry.find("_tcsncpy");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->hazard_on(OsVariant::kWinCE), core::CrashStyle::kDeferred);
+  sim::Machine m(OsVariant::kWinCE);
+  const auto r = run_named_case(w, OsVariant::kWinCE, "_tcsncpy",
+                                {"buf_dangling", "wstr_hello", "size_16"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);  // deferred: succeeds now...
+  EXPECT_GT(m.arena().corruption(), 0);  // ...dies later
+}
+
+}  // namespace
+}  // namespace ballista::clib

@@ -1,0 +1,259 @@
+// Tests for the C memory, C math and C time families.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ballista::clib {
+namespace {
+
+using ballista::testing::run_named_case;
+using ballista::testing::shared_world;
+using core::Outcome;
+using sim::OsVariant;
+
+// --- C memory ---------------------------------------------------------------
+
+TEST(Memcpy, GuardPagesBoundOverruns) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "memcpy",
+                           {"buf_64", "cbuf_64", "size_16"}, &m)
+                .outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "memcpy",
+                           {"buf_64", "cbuf_64", "size_64k"}, &m)
+                .outcome,
+            Outcome::kAbort);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "memcpy",
+                           {"buf_null", "cbuf_64", "size_1"}, &m)
+                .outcome,
+            Outcome::kAbort);
+}
+
+TEST(Memset, SizeZeroIsANoOpEvenOnBadPointers) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kWinNT4);
+  EXPECT_EQ(run_named_case(w, OsVariant::kWinNT4, "memset",
+                           {"buf_null", "ch_a", "size_0"}, &m)
+                .outcome,
+            Outcome::kPass);
+}
+
+TEST(FreeBadPointer, PersonalitiesDiverge) {
+  const auto& w = shared_world();
+  // glibc chases chunk metadata: Abort.
+  sim::Machine linux_box(OsVariant::kLinux);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "free", {"heap_garbage"},
+                           &linux_box)
+                .outcome,
+            Outcome::kAbort);
+  // NT CRT reads the header: Abort.
+  sim::Machine nt(OsVariant::kWinNT4);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kWinNT4, "free", {"heap_garbage"}, &nt)
+          .outcome,
+      Outcome::kAbort);
+  // 9x CRT validates against its table: Silent no-op.
+  sim::Machine w98(OsVariant::kWin98);
+  const auto r =
+      run_named_case(w, OsVariant::kWin98, "free", {"heap_garbage"}, &w98);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_TRUE(r.success_no_error);
+}
+
+TEST(FreeNull, LegalEverywhere) {
+  const auto& w = shared_world();
+  for (OsVariant v : {OsVariant::kLinux, OsVariant::kWinNT4,
+                      OsVariant::kWin95}) {
+    sim::Machine m(v);
+    EXPECT_EQ(run_named_case(w, v, "free", {"heap_null"}, &m).outcome,
+              Outcome::kPass);
+  }
+}
+
+TEST(FreeValid, ReleasesTheChunk) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kLinux, "free", {"heap_valid_64"}, &m)
+          .outcome,
+      Outcome::kPass);
+}
+
+TEST(Malloc, HugeRequestsReportEnomem) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  const auto r =
+      run_named_case(w, OsVariant::kLinux, "malloc", {"size_halfmax"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_FALSE(r.success_no_error);  // ENOMEM reported
+}
+
+TEST(Calloc, ThirtyTwoBitMultiplicationWraps) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  // 64K * 64K wraps to 0 in 32 bits: the classic silent calloc overflow.
+  const auto r = run_named_case(w, OsVariant::kLinux, "calloc",
+                                {"size_64k", "size_64k"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_TRUE(r.success_no_error);
+  EXPECT_TRUE(r.any_exceptional);  // direct Silent candidate
+}
+
+TEST(Realloc, NullActsAsMallocAndGarbageReports) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kWin98);
+  EXPECT_EQ(run_named_case(w, OsVariant::kWin98, "realloc",
+                           {"heap_null", "size_16"}, &m)
+                .outcome,
+            Outcome::kPass);
+  const auto r = run_named_case(w, OsVariant::kWin98, "realloc",
+                                {"heap_garbage", "size_16"}, &m);
+  EXPECT_FALSE(r.success_no_error);
+}
+
+// --- C math ------------------------------------------------------------------
+
+class MathDomain : public ::testing::TestWithParam<OsVariant> {};
+
+TEST_P(MathDomain, DomainErrorsReportEdom) {
+  const auto& w = shared_world();
+  sim::Machine m(GetParam());
+  const auto r =
+      run_named_case(w, GetParam(), "sqrt", {"d_neg1"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_FALSE(r.success_no_error);  // EDOM reported
+  const auto r2 = run_named_case(w, GetParam(), "acos", {"d_1e10"}, &m);
+  EXPECT_FALSE(r2.success_no_error);
+  const auto r3 = run_named_case(w, GetParam(), "log", {"d_0"}, &m);
+  EXPECT_FALSE(r3.success_no_error);
+}
+
+TEST_P(MathDomain, NanPropagatesSilently) {
+  const auto& w = shared_world();
+  sim::Machine m(GetParam());
+  const auto r = run_named_case(w, GetParam(), "sin", {"d_nan"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_TRUE(r.success_no_error);
+  EXPECT_TRUE(r.any_exceptional);  // the C-math Silent residue
+}
+
+TEST_P(MathDomain, OverflowReportsErange) {
+  const auto& w = shared_world();
+  sim::Machine m(GetParam());
+  const auto r = run_named_case(w, GetParam(), "exp", {"d_1e10"}, &m);
+  EXPECT_FALSE(r.success_no_error);  // ERANGE
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, MathDomain,
+                         ::testing::Values(OsVariant::kLinux,
+                                           OsVariant::kWinNT4,
+                                           OsVariant::kWin95));
+
+TEST(Modf, StoresIntegralPartThroughPointer) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kLinux, "modf", {"d_pi", "buf_64"}, &m)
+          .outcome,
+      Outcome::kPass);
+  EXPECT_EQ(
+      run_named_case(w, OsVariant::kLinux, "modf", {"d_pi", "buf_null"}, &m)
+          .outcome,
+      Outcome::kAbort);
+}
+
+// --- C time -------------------------------------------------------------------
+
+TEST(TimeFns, NotSupportedOnCe) {
+  const auto& w = shared_world();
+  for (const char* name : {"time", "ctime", "mktime", "strftime"}) {
+    EXPECT_FALSE(
+        w.registry.find(name)->supported_on(OsVariant::kWinCE))
+        << name;
+  }
+}
+
+TEST(TimeFns, TimeNullIsLegal) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  const auto r =
+      run_named_case(w, OsVariant::kLinux, "time", {"time_null_ok"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+}
+
+TEST(TimeFns, TimeBadPointerSplitsByArchitecture) {
+  const auto& w = shared_world();
+  // Linux: time(2) is a syscall, kernel probes -> EFAULT error.
+  sim::Machine linux_box(OsVariant::kLinux);
+  const auto lr = run_named_case(w, OsVariant::kLinux, "time",
+                                 {"time_dangling"}, &linux_box);
+  EXPECT_EQ(lr.outcome, Outcome::kPass);
+  EXPECT_FALSE(lr.success_no_error);
+  // Windows CRT converts in user mode -> Abort.
+  sim::Machine nt(OsVariant::kWinNT4);
+  EXPECT_EQ(run_named_case(w, OsVariant::kWinNT4, "time", {"time_dangling"},
+                           &nt)
+                .outcome,
+            Outcome::kAbort);
+}
+
+TEST(Asctime, GlibcIndexesTablesRawMsvcValidates) {
+  const auto& w = shared_world();
+  sim::Machine linux_box(OsVariant::kLinux);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "asctime",
+                           {"tm_out_of_range"}, &linux_box)
+                .outcome,
+            Outcome::kAbort);
+  sim::Machine nt(OsVariant::kWinNT4);
+  const auto r = run_named_case(w, OsVariant::kWinNT4, "asctime",
+                                {"tm_out_of_range"}, &nt);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_FALSE(r.success_no_error);  // EINVAL reported
+}
+
+TEST(Asctime, ValidTmFormatsEverywhere) {
+  const auto& w = shared_world();
+  for (OsVariant v : {OsVariant::kLinux, OsVariant::kWin98}) {
+    sim::Machine m(v);
+    const auto r = run_named_case(w, v, "asctime", {"tm_valid"}, &m);
+    EXPECT_EQ(r.outcome, Outcome::kPass);
+    EXPECT_TRUE(r.success_no_error);
+  }
+}
+
+TEST(Mktime, OutOfRangeReportsMinusOne) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  const auto r = run_named_case(w, OsVariant::kLinux, "mktime",
+                                {"tm_out_of_range"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_FALSE(r.success_no_error);
+}
+
+TEST(Gmtime, BadTimePointerAbortsEverywhere) {
+  const auto& w = shared_world();
+  for (OsVariant v : {OsVariant::kLinux, OsVariant::kWinNT4}) {
+    sim::Machine m(v);
+    EXPECT_EQ(run_named_case(w, v, "gmtime", {"time_null"}, &m).outcome,
+              Outcome::kAbort);
+  }
+}
+
+TEST(Strftime, FormatsIntoBuffer) {
+  const auto& w = shared_world();
+  sim::Machine m(OsVariant::kLinux);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "strftime",
+                           {"buf_page", "size_255", "str_hello", "tm_valid"},
+                           &m)
+                .outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, OsVariant::kLinux, "strftime",
+                           {"buf_null", "size_255", "str_hello", "tm_valid"},
+                           &m)
+                .outcome,
+            Outcome::kAbort);
+}
+
+}  // namespace
+}  // namespace ballista::clib

@@ -1,0 +1,114 @@
+// Unit tests for the in-memory filesystem shared by all API personalities.
+#include <gtest/gtest.h>
+
+#include "sim/filesystem.h"
+
+namespace ballista::sim {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  ParsedPath p(std::string_view s) { return fs.parse(s, cwd); }
+  FileSystem fs;
+  ParsedPath cwd = FileSystem::root_path();
+};
+
+TEST_F(FsTest, FixtureExistsAtBoot) {
+  EXPECT_NE(fs.resolve(p("/tmp/fixture.dat")), nullptr);
+  auto ro = fs.resolve(p("/tmp/readonly.dat"));
+  ASSERT_NE(ro, nullptr);
+  EXPECT_TRUE(ro->read_only);
+  EXPECT_FALSE(fs.resolve(p("/tmp/fixture.dat"))->data().empty());
+}
+
+TEST_F(FsTest, ParseHandlesBothSeparatorsAndDrives) {
+  EXPECT_EQ(FileSystem::to_string(p("C:\\tmp\\fixture.dat")),
+            "/tmp/fixture.dat");
+  EXPECT_EQ(FileSystem::to_string(p("/tmp//fixture.dat")),
+            "/tmp/fixture.dat");
+  EXPECT_EQ(FileSystem::to_string(p("\\tmp\\a\\..\\b")), "/tmp/b");
+  EXPECT_EQ(FileSystem::to_string(p("/")), "/");
+}
+
+TEST_F(FsTest, RelativePathsUseCwd) {
+  cwd = p("/tmp");
+  EXPECT_NE(fs.resolve(p("fixture.dat")), nullptr);
+  EXPECT_EQ(FileSystem::to_string(p("./sub/../fixture.dat")),
+            "/tmp/fixture.dat");
+}
+
+TEST_F(FsTest, DotDotAboveRootClamps) {
+  EXPECT_EQ(FileSystem::to_string(p("/../../tmp")), "/tmp");
+}
+
+TEST_F(FsTest, EmptyPathIsInvalid) {
+  EXPECT_FALSE(p("").valid);
+  EXPECT_EQ(fs.resolve(p("")), nullptr);
+}
+
+TEST_F(FsTest, CreateFileVariants) {
+  EXPECT_NE(fs.create_file(p("/tmp/new.dat"), true, false), nullptr);
+  // fail_if_exists
+  EXPECT_EQ(fs.create_file(p("/tmp/new.dat"), true, false), nullptr);
+  // reuse without truncation
+  auto n = fs.create_file(p("/tmp/new.dat"), false, false);
+  ASSERT_NE(n, nullptr);
+  n->data().assign({1, 2, 3});
+  auto again = fs.create_file(p("/tmp/new.dat"), false, false);
+  EXPECT_EQ(again->data().size(), 3u);
+  // truncate_existing
+  auto trunc = fs.create_file(p("/tmp/new.dat"), false, true);
+  EXPECT_TRUE(trunc->data().empty());
+}
+
+TEST_F(FsTest, CreateFileInMissingDirFails) {
+  EXPECT_EQ(fs.create_file(p("/nowhere/file"), false, false), nullptr);
+}
+
+TEST_F(FsTest, ReadOnlyFilesResistModification) {
+  EXPECT_EQ(fs.create_file(p("/tmp/readonly.dat"), false, true), nullptr);
+  EXPECT_FALSE(fs.remove_file(p("/tmp/readonly.dat")));
+}
+
+TEST_F(FsTest, DirectoryLifecycle) {
+  EXPECT_NE(fs.create_dir(p("/tmp/sub")), nullptr);
+  EXPECT_EQ(fs.create_dir(p("/tmp/sub")), nullptr);  // exists
+  EXPECT_NE(fs.create_file(p("/tmp/sub/f"), true, false), nullptr);
+  EXPECT_FALSE(fs.remove_dir(p("/tmp/sub")));  // not empty
+  EXPECT_TRUE(fs.remove_file(p("/tmp/sub/f")));
+  EXPECT_TRUE(fs.remove_dir(p("/tmp/sub")));
+  EXPECT_EQ(fs.resolve(p("/tmp/sub")), nullptr);
+}
+
+TEST_F(FsTest, RemoveDirRejectsFiles) {
+  EXPECT_FALSE(fs.remove_dir(p("/tmp/fixture.dat")));
+  EXPECT_FALSE(fs.remove_file(p("/tmp")));
+}
+
+TEST_F(FsTest, RenameMovesNodes) {
+  EXPECT_TRUE(fs.rename(p("/tmp/fixture.dat"), p("/tmp/moved.dat")));
+  EXPECT_EQ(fs.resolve(p("/tmp/fixture.dat")), nullptr);
+  EXPECT_NE(fs.resolve(p("/tmp/moved.dat")), nullptr);
+  // destination exists -> refused
+  EXPECT_FALSE(fs.rename(p("/tmp/moved.dat"), p("/tmp/readonly.dat")));
+  // missing source -> refused
+  EXPECT_FALSE(fs.rename(p("/tmp/ghost"), p("/tmp/x")));
+}
+
+TEST_F(FsTest, ResetFixtureRestoresCanonicalTree) {
+  fs.create_file(p("/tmp/junk"), true, false);
+  fs.resolve(p("/tmp/fixture.dat"))->data().clear();
+  fs.reset_fixture();
+  EXPECT_EQ(fs.resolve(p("/tmp/junk")), nullptr);
+  EXPECT_FALSE(fs.resolve(p("/tmp/fixture.dat"))->data().empty());
+}
+
+TEST_F(FsTest, UnlinkedNodeSurvivesThroughSharedPtr) {
+  auto node = fs.resolve(p("/tmp/fixture.dat"));
+  ASSERT_TRUE(fs.remove_file(p("/tmp/fixture.dat")));
+  EXPECT_EQ(node->nlink, 0);
+  node->data().push_back('x');  // still usable via the open reference
+}
+
+}  // namespace
+}  // namespace ballista::sim

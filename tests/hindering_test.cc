@@ -1,0 +1,76 @@
+// Tests for Hindering failures — the H of CRASH: "an incorrect error
+// indication such as the wrong error reporting code" (§2), detectable only
+// where an oracle exists.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ballista {
+namespace {
+
+using core::Outcome;
+using sim::OsVariant;
+using testing::run_named_case;
+using testing::shared_world;
+
+TEST(Hindering, Win9xRemoveDirectoryMissingPathWrongCode) {
+  const auto& w = shared_world();
+  sim::Machine w98(OsVariant::kWin98);
+  const auto r = run_named_case(w, OsVariant::kWin98, "RemoveDirectory",
+                                {"path_missing"}, &w98);
+  EXPECT_EQ(r.outcome, Outcome::kPass);  // still an error return...
+  EXPECT_TRUE(r.wrong_error);            // ...but the wrong code
+  EXPECT_EQ(w98.crashed(), false);
+
+  // NT reports the correct ERROR_PATH_NOT_FOUND.
+  sim::Machine nt(OsVariant::kWinNT4);
+  const auto rn = run_named_case(w, OsVariant::kWinNT4, "RemoveDirectory",
+                                 {"path_missing"}, &nt);
+  EXPECT_FALSE(rn.wrong_error);
+  EXPECT_FALSE(rn.success_no_error);
+}
+
+TEST(Hindering, GlibcFopenBogusModeWrongErrno) {
+  const auto& w = shared_world();
+  sim::Machine linux_box(OsVariant::kLinux);
+  const auto r = run_named_case(w, OsVariant::kLinux, "fopen",
+                                {"path_fixture", "mode_bogus"}, &linux_box);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_TRUE(r.wrong_error);
+
+  sim::Machine nt(OsVariant::kWinNT4);
+  const auto rn = run_named_case(w, OsVariant::kWinNT4, "fopen",
+                                 {"path_fixture", "mode_bogus"}, &nt);
+  EXPECT_FALSE(rn.wrong_error);
+}
+
+TEST(Hindering, CountedInCampaignStats) {
+  core::CampaignOptions opt;
+  opt.cap = 80;
+  const auto r =
+      core::Campaign::run(OsVariant::kWin98, shared_world().registry, opt);
+  const auto* rd = r.find("RemoveDirectory");
+  ASSERT_NE(rd, nullptr);
+  EXPECT_GT(rd->hindering, 0u);
+  // And rolls up into the variant summary.
+  const auto s = core::summarize(r);
+  EXPECT_GT(s.overall_hindering, 0.0);
+}
+
+TEST(Hindering, VotingTreatsWrongCodeAsAnErrorIndication) {
+  // A sibling that reports *any* error — even the wrong one — still exposes
+  // a Silent failure elsewhere (paper §4: "a pass with an error").
+  // Covered structurally in voting_test.cc; here we confirm the case code.
+  core::CampaignOptions opt;
+  opt.cap = 80;
+  const auto r =
+      core::Campaign::run(OsVariant::kWin98, shared_world().registry, opt);
+  const auto* rd = r.find("RemoveDirectory");
+  ASSERT_NE(rd, nullptr);
+  EXPECT_NE(std::find(rd->case_codes.begin(), rd->case_codes.end(),
+                      core::CaseCode::kHindering),
+            rd->case_codes.end());
+}
+
+}  // namespace
+}  // namespace ballista

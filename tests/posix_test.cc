@@ -1,0 +1,301 @@
+// Tests for the simulated POSIX API: copy_from_user robustness (the paper's
+// low Linux system-call Abort rate), fd discipline, and the glibc-wrapper
+// exceptions (readdir, execv).
+#include <gtest/gtest.h>
+
+#include "posix/posix.h"
+#include "tests/test_util.h"
+
+namespace ballista::posix_api {
+namespace {
+
+using ballista::testing::run_named_case;
+using ballista::testing::shared_world;
+using core::Outcome;
+using sim::OsVariant;
+
+constexpr OsVariant kL = OsVariant::kLinux;
+
+TEST(Fds, BadDescriptorsReportEbadf) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  for (const char* fd : {"fd_neg1", "fd_9999", "fd_closed", "fd_intmax"}) {
+    const auto r = run_named_case(w, kL, "close", {fd}, &m);
+    EXPECT_EQ(r.outcome, Outcome::kPass) << fd;
+    EXPECT_FALSE(r.success_no_error) << fd;
+  }
+}
+
+TEST(Fds, ValidDescriptorCloses) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "close", {"fd_fixture_rw"}, &m).outcome,
+            Outcome::kPass);
+}
+
+TEST(ReadWrite, KernelProbesBufferPointers) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  // Bad buffer: EFAULT error return, never a signal — the Linux architecture.
+  const auto r = run_named_case(w, kL, "read",
+                                {"fd_fixture_rw", "buf_null", "size_16"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+  EXPECT_FALSE(r.success_no_error);
+  EXPECT_EQ(run_named_case(w, kL, "read",
+                           {"fd_fixture_rw", "buf_64", "size_16"}, &m)
+                .outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, kL, "write",
+                           {"fd_fixture_rw", "cbuf_dangling", "size_16"}, &m)
+                .outcome,
+            Outcome::kPass);  // EFAULT reported
+}
+
+TEST(ReadWrite, ReadOnlyFdRejectsWrites) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  const auto r = run_named_case(w, kL, "write",
+                                {"fd_fixture_ro", "cbuf_64", "size_16"}, &m);
+  EXPECT_FALSE(r.success_no_error);
+}
+
+TEST(ReadWrite, EmptyStdinBlocksForever) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "read",
+                           {"fd_stdin", "buf_64", "size_16"}, &m)
+                .outcome,
+            Outcome::kRestart);
+}
+
+TEST(Lseek, WhenceValidation) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "lseek",
+                           {"fd_fixture_rw", "int_64", "seek_set"}, &m)
+                .outcome,
+            Outcome::kPass);
+  const auto r = run_named_case(w, kL, "lseek",
+                                {"fd_fixture_rw", "int_64", "seek_bogus"}, &m);
+  EXPECT_FALSE(r.success_no_error);  // EINVAL
+  const auto r2 = run_named_case(
+      w, kL, "lseek", {"fd_fixture_rw", "int_neg1", "seek_set"}, &m);
+  EXPECT_FALSE(r2.success_no_error);  // negative target
+}
+
+TEST(Dup, Dup2PlacesAtRequestedSlot) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "dup", {"fd_fixture_rw"}, &m).outcome,
+            Outcome::kPass);
+  EXPECT_EQ(
+      run_named_case(w, kL, "dup2", {"fd_fixture_rw", "fd_9999"}, &m).outcome,
+      Outcome::kPass);
+}
+
+TEST(Pipe, WritesFdPairThroughPointer) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "pipe", {"buf_64"}, &m).outcome,
+            Outcome::kPass);
+  const auto r = run_named_case(w, kL, "pipe", {"buf_null"}, &m);
+  EXPECT_FALSE(r.success_no_error);  // EFAULT
+}
+
+TEST(PathCalls, EfaultOnBadPathPointers) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  for (const char* call : {"open", "stat", "access"}) {
+    const core::MuT* mut = w.registry.find(call);
+    ASSERT_NE(mut, nullptr);
+    std::vector<std::string> tuple{"str_null"};
+    for (std::size_t i = 1; i < mut->params.size(); ++i) {
+      // Fill remaining params with the first pool value.
+      tuple.push_back(mut->params[i]->values().front()->name);
+    }
+    const auto r = run_named_case(w, kL, call, tuple, &m);
+    EXPECT_EQ(r.outcome, Outcome::kPass) << call;
+    EXPECT_FALSE(r.success_no_error) << call;
+  }
+}
+
+TEST(Stat, WritesStructForFixture) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(
+      run_named_case(w, kL, "stat", {"path_fixture", "buf_64"}, &m).outcome,
+      Outcome::kPass);
+  const auto r =
+      run_named_case(w, kL, "stat", {"path_fixture", "buf_readonly"}, &m);
+  EXPECT_FALSE(r.success_no_error);  // EFAULT on read-only target
+}
+
+TEST(DirCalls, MkdirRmdirChdirFlow) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(
+      run_named_case(w, kL, "mkdir", {"path_missing", "flags_0"}, &m).outcome,
+      Outcome::kPass);
+  // rmdir of a file is ENOTDIR.
+  const auto r = run_named_case(w, kL, "rmdir", {"path_fixture"}, &m);
+  EXPECT_FALSE(r.success_no_error);
+  EXPECT_EQ(run_named_case(w, kL, "chdir", {"path_dir"}, &m).outcome,
+            Outcome::kPass);
+}
+
+TEST(DirStream, GlibcWrapperAbortsOnGarbageDir) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "readdir", {"dir_valid"}, &m).outcome,
+            Outcome::kPass);
+  // The DIR* is resolved in user space: garbage aborts (the Linux residue).
+  EXPECT_EQ(run_named_case(w, kL, "readdir", {"dir_null"}, &m).outcome,
+            Outcome::kAbort);
+  EXPECT_EQ(run_named_case(w, kL, "readdir", {"dir_dangling"}, &m).outcome,
+            Outcome::kAbort);
+  EXPECT_EQ(
+      run_named_case(w, kL, "readdir", {"dir_string_buffer"}, &m).outcome,
+      Outcome::kAbort);
+  EXPECT_EQ(run_named_case(w, kL, "closedir", {"dir_valid"}, &m).outcome,
+            Outcome::kPass);
+}
+
+TEST(Exec, KernelCopiesForExecveWrapperWalksForExecv) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  // execve: argv copied by the kernel -> EFAULT error on garbage.
+  const auto rve = run_named_case(
+      w, kL, "execve", {"path_fixture", "argv_dangling", "argv_valid"}, &m);
+  EXPECT_EQ(rve.outcome, Outcome::kPass);
+  EXPECT_FALSE(rve.success_no_error);
+  // execv: glibc walks argv in user space first -> Abort.
+  EXPECT_EQ(run_named_case(w, kL, "execv",
+                           {"path_fixture", "argv_dangling"}, &m)
+                .outcome,
+            Outcome::kAbort);
+  // Valid argv succeeds through both.
+  EXPECT_EQ(run_named_case(w, kL, "execve",
+                           {"path_fixture", "argv_valid", "argv_empty"}, &m)
+                .outcome,
+            Outcome::kPass);
+}
+
+TEST(Signals, KillValidation) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  // kill(self, 0): existence probe, pass.
+  EXPECT_EQ(run_named_case(w, kL, "kill", {"pid_self", "sig_0"}, &m).outcome,
+            Outcome::kPass);
+  // Invalid signal: EINVAL.
+  const auto r = run_named_case(w, kL, "kill", {"pid_self", "sig_1000"}, &m);
+  EXPECT_FALSE(r.success_no_error);
+  // Fatal signal to self terminates the task: Abort.
+  EXPECT_EQ(run_named_case(w, kL, "kill", {"pid_self", "sig_term"}, &m)
+                .outcome,
+            Outcome::kAbort);
+  // Unknown pid: ESRCH.
+  const auto r2 = run_named_case(w, kL, "kill", {"pid_bogus", "sig_0"}, &m);
+  EXPECT_FALSE(r2.success_no_error);
+}
+
+TEST(Sched, RealtimeExtensionValidation) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(
+      run_named_case(w, kL, "sched_get_priority_max", {"int_1"}, &m).outcome,
+      Outcome::kPass);
+  const auto r =
+      run_named_case(w, kL, "sched_get_priority_max", {"int_64"}, &m);
+  EXPECT_FALSE(r.success_no_error);  // invalid policy
+  EXPECT_EQ(run_named_case(w, kL, "sched_rr_get_interval",
+                           {"pid_0", "ts_valid_short"}, &m)
+                .outcome,
+            Outcome::kPass);
+}
+
+TEST(Nanosleep, TimespecValidation) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "nanosleep",
+                           {"ts_valid_short", "buf_null"}, &m)
+                .outcome,
+            Outcome::kPass);
+  for (const char* bad : {"ts_negative", "ts_huge_nsec"}) {
+    const auto r =
+        run_named_case(w, kL, "nanosleep", {bad, "buf_null"}, &m);
+    EXPECT_FALSE(r.success_no_error) << bad;
+  }
+  // Bad timespec pointer: EFAULT, not a crash.
+  const auto r = run_named_case(w, kL, "nanosleep",
+                                {"buf_dangling", "buf_null"}, &m);
+  EXPECT_EQ(r.outcome, Outcome::kPass);
+}
+
+TEST(Mmap, ArgumentValidation) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "mmap",
+                           {"va_null_ok", "size_page", "prot_rw", "flags_2",
+                            "fd_fixture_rw", "int_0"},
+                           &m)
+                .outcome,
+            Outcome::kPass);
+  // Bogus prot bits.
+  const auto r = run_named_case(w, kL, "mmap",
+                                {"va_null_ok", "size_page", "prot_bogus",
+                                 "flags_2", "fd_fixture_rw", "int_0"},
+                                &m);
+  EXPECT_FALSE(r.success_no_error);
+  // MAP_SHARED and MAP_PRIVATE both missing.
+  const auto r2 = run_named_case(w, kL, "mmap",
+                                 {"va_null_ok", "size_page", "prot_rw",
+                                  "flags_0", "fd_fixture_rw", "int_0"},
+                                 &m);
+  EXPECT_FALSE(r2.success_no_error);
+}
+
+TEST(Identity, CannotFailCalls) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  for (const char* call : {"getpid", "getppid", "getuid", "getgid",
+                           "getpgrp", "fork", "setsid", "sync"}) {
+    const auto r = run_named_case(w, kL, call, {}, &m);
+    EXPECT_EQ(r.outcome, Outcome::kPass) << call;
+  }
+}
+
+TEST(Env, GetenvWalksUserSpace) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "getenv", {"str_hello"}, &m).outcome,
+            Outcome::kPass);
+  EXPECT_EQ(run_named_case(w, kL, "getenv", {"str_null"}, &m).outcome,
+            Outcome::kAbort);  // glibc user-space walk
+}
+
+TEST(Env, SetenvValidatesName) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  const auto r = run_named_case(w, kL, "setenv",
+                                {"str_empty", "str_hello", "int_1"}, &m);
+  EXPECT_FALSE(r.success_no_error);  // empty name: EINVAL
+}
+
+TEST(Uname, WritesThroughProbedPointer) {
+  const auto& w = shared_world();
+  sim::Machine m(kL);
+  EXPECT_EQ(run_named_case(w, kL, "uname", {"buf_page"}, &m).outcome,
+            Outcome::kPass);
+  const auto r = run_named_case(w, kL, "uname", {"buf_null"}, &m);
+  EXPECT_FALSE(r.success_no_error);  // EFAULT reported
+}
+
+TEST(Registry, LinuxSurfaceCounts) {
+  const auto& w = shared_world();
+  EXPECT_EQ(w.registry.count(kL, core::ApiKind::kPosixSys), 91u);
+  EXPECT_EQ(w.registry.count(kL, core::ApiKind::kCLib), 94u);
+  EXPECT_EQ(w.registry.count(kL, core::ApiKind::kWin32Sys), 0u);
+}
+
+}  // namespace
+}  // namespace ballista::posix_api

@@ -1,0 +1,156 @@
+// Property-style sweeps over the full catalog: every MuT on every variant it
+// supports must classify cleanly (no host exceptions, no unexpected machine
+// states), value factories must be re-runnable, and crashes must be confined
+// to the personalities that own a shared arena.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ballista {
+namespace {
+
+using core::Outcome;
+using sim::OsVariant;
+using testing::shared_world;
+
+class VariantSweep : public ::testing::TestWithParam<OsVariant> {};
+
+TEST_P(VariantSweep, EveryMutRunsItsFirstCasesCleanly) {
+  const OsVariant v = GetParam();
+  const auto& world = shared_world();
+  sim::Machine machine(v);
+  core::Executor executor(machine);
+  for (const core::MuT* mut : world.registry.for_variant(v)) {
+    core::TupleGenerator gen(*mut, /*cap=*/24);
+    for (std::uint64_t i = 0; i < gen.count(); ++i) {
+      if (machine.crashed()) machine.reboot();
+      const auto tuple = gen.tuple(i);
+      core::CaseResult r;
+      // A host-level exception escaping run_case is a harness bug.
+      ASSERT_NO_THROW(r = executor.run_case(*mut, tuple))
+          << mut->name << " case " << i;
+      if (r.outcome == Outcome::kCatastrophic) {
+        // Only arena personalities can lose the machine.
+        EXPECT_TRUE(machine.personality().has_shared_arena) << mut->name;
+        machine.reboot();
+      }
+    }
+  }
+}
+
+TEST_P(VariantSweep, OutcomeCountsAreConsistentPerMut) {
+  const OsVariant v = GetParam();
+  core::CampaignOptions opt;
+  opt.cap = 60;
+  const auto result = core::Campaign::run(v, shared_world().registry, opt);
+  for (const auto& s : result.stats) {
+    const std::uint64_t catastrophic_cases = static_cast<std::uint64_t>(
+        std::count(s.case_codes.begin(), s.case_codes.end(),
+                   core::CaseCode::kCatastrophic));
+    EXPECT_EQ(s.passes + s.aborts + s.restarts + catastrophic_cases,
+              s.executed)
+        << s.mut->name;
+    EXPECT_LE(s.executed, s.planned) << s.mut->name;
+    EXPECT_EQ(s.case_codes.size(), s.executed) << s.mut->name;
+    EXPECT_LE(s.silent_candidates, s.passes) << s.mut->name;
+  }
+}
+
+TEST_P(VariantSweep, NonArenaVariantsNeverCrash) {
+  const OsVariant v = GetParam();
+  if (sim::personality_for(v).has_shared_arena) GTEST_SKIP();
+  core::CampaignOptions opt;
+  opt.cap = 60;
+  const auto result = core::Campaign::run(v, shared_world().registry, opt);
+  EXPECT_EQ(result.reboots, 0);
+  for (const auto& s : result.stats)
+    EXPECT_FALSE(s.catastrophic) << s.mut->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantSweep,
+    ::testing::ValuesIn(sim::kAllVariants.begin(), sim::kAllVariants.end()),
+    [](const ::testing::TestParamInfo<OsVariant>& info) {
+      std::string name{sim::variant_name(info.param)};
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(ValueFactories, AreRepeatableWithinOneTask) {
+  const auto& world = shared_world();
+  sim::Machine machine(OsVariant::kWinNT4);
+  auto proc = machine.create_process();
+  core::ValueCtx vctx{machine, *proc};
+  for (const auto& type : world.types.types()) {
+    for (const core::TestValue* v : type->values()) {
+      ASSERT_NO_THROW({
+        (void)v->make(vctx);
+        (void)v->make(vctx);
+      }) << type->name()
+         << "::" << v->name;
+    }
+  }
+}
+
+TEST(ValueFactories, LinuxSideTypesAlsoMaterialize) {
+  const auto& world = shared_world();
+  sim::Machine machine(OsVariant::kLinux);
+  auto proc = machine.create_process();
+  core::ValueCtx vctx{machine, *proc};
+  for (const auto& type : world.types.types()) {
+    for (const core::TestValue* v : type->values()) {
+      ASSERT_NO_THROW((void)v->make(vctx))
+          << type->name() << "::" << v->name;
+    }
+  }
+}
+
+TEST(TypePools, EveryTypeHasBothKindsWhereExpected) {
+  const auto& world = shared_world();
+  std::size_t exceptional = 0, benign = 0;
+  for (const auto& type : world.types.types()) {
+    EXPECT_GT(type->value_count(), 0u) << type->name();
+    for (const core::TestValue* v : type->values())
+      (v->exceptional ? exceptional : benign) += 1;
+  }
+  // Paper §2: pools contain "exceptional as well as non-exceptional cases".
+  EXPECT_GT(exceptional, 50u);
+  EXPECT_GT(benign, 80u);
+}
+
+TEST(TypePools, SizesAreInThePaperBallpark) {
+  const auto& world = shared_world();
+  // Dozens of types, hundreds of values (scaled-down from 43 types / 1073
+  // values; DESIGN.md documents the scaling).
+  EXPECT_GE(world.types.type_count(), 30u);
+  EXPECT_GE(world.types.total_values(), 250u);
+}
+
+TEST(Isolation, CrashOnOneMachineDoesNotLeakToAnother) {
+  const auto& world = shared_world();
+  sim::Machine a(OsVariant::kWin98);
+  sim::Machine b(OsVariant::kWin98);
+  const auto r = testing::run_named_case(world, OsVariant::kWin98,
+                                         "GetThreadContext",
+                                         {"h_thread_pseudo", "buf_null"}, &a);
+  EXPECT_EQ(r.outcome, Outcome::kCatastrophic);
+  EXPECT_TRUE(a.crashed());
+  EXPECT_FALSE(b.crashed());
+  EXPECT_EQ(b.arena().corruption(), 0);
+}
+
+TEST(Isolation, HandleAllocationsDoNotAccumulateAcrossCases) {
+  const auto& world = shared_world();
+  sim::Machine m(OsVariant::kWinNT4);
+  // Run the same constructor-heavy case repeatedly; each case gets a fresh
+  // task, so handle tables cannot grow without bound.
+  for (int i = 0; i < 5; ++i) {
+    const auto r = testing::run_named_case(
+        world, OsVariant::kWinNT4, "CloseHandle", {"h_file_valid"}, &m);
+    EXPECT_EQ(r.outcome, Outcome::kPass);
+  }
+}
+
+}  // namespace
+}  // namespace ballista

@@ -1,0 +1,177 @@
+// Tests for the split (client/server) harness: wire protocol round trips,
+// channel delivery, campaign-over-RPC equivalence with the in-process
+// campaign, and the Windows CE file-drop arrangement.
+#include <gtest/gtest.h>
+
+#include "rpc/harness_rpc.h"
+#include "tests/test_util.h"
+
+namespace ballista::rpc {
+namespace {
+
+using core::CaseCode;
+using sim::OsVariant;
+using testing::shared_world;
+
+TEST(Protocol, RequestRoundTrip) {
+  Message m;
+  m.type = MessageType::kTestRequest;
+  m.request = {"GetThreadContext", 1234};
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MessageType::kTestRequest);
+  EXPECT_EQ(decoded->request.mut_name, "GetThreadContext");
+  EXPECT_EQ(decoded->request.case_index, 1234u);
+}
+
+TEST(Protocol, ResultRoundTrip) {
+  Message m;
+  m.type = MessageType::kTestResult;
+  m.result = {"strncpy", 7, CaseCode::kAbort, "ACCESS_VIOLATION reading 0x0"};
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->result.mut_name, "strncpy");
+  EXPECT_EQ(decoded->result.code, CaseCode::kAbort);
+  EXPECT_EQ(decoded->result.detail, "ACCESS_VIOLATION reading 0x0");
+}
+
+TEST(Protocol, ShutdownRoundTrip) {
+  Message m;
+  m.type = MessageType::kShutdown;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MessageType::kShutdown);
+}
+
+TEST(Protocol, MalformedFramesAreRejected) {
+  EXPECT_FALSE(decode({}).has_value());
+  EXPECT_FALSE(decode({99}).has_value());          // unknown type
+  EXPECT_FALSE(decode({1, 5, 0, 0}).has_value());  // truncated request
+  // Trailing garbage after a valid shutdown.
+  EXPECT_FALSE(decode({4, 0}).has_value());
+  // Huge declared string length.
+  Frame f{1};
+  for (int i = 0; i < 8; ++i) f.push_back(0xff);
+  EXPECT_FALSE(decode(f).has_value());
+  // Out-of-range case code.
+  Message m;
+  m.type = MessageType::kTestResult;
+  m.result = {"x", 0, CaseCode::kPassWithError, ""};
+  Frame enc = encode(m);
+  // The code byte sits right after name(8+1) + index(8) + type(1).
+  enc[1 + 8 + 1 + 8] = 200;
+  EXPECT_FALSE(decode(enc).has_value());
+}
+
+TEST(Channel, DeliversInOrderBothWays) {
+  Channel ch;
+  ch.a().send({1, 2, 3});
+  ch.a().send({4});
+  EXPECT_TRUE(ch.b().has_pending());
+  EXPECT_EQ(*ch.b().try_recv(), (Frame{1, 2, 3}));
+  EXPECT_EQ(*ch.b().try_recv(), (Frame{4}));
+  EXPECT_FALSE(ch.b().try_recv().has_value());
+  ch.b().send({9});
+  EXPECT_EQ(*ch.a().try_recv(), (Frame{9}));
+}
+
+TEST(RpcCampaign, MatchesInProcessCampaignOnLinux) {
+  const auto& world = shared_world();
+  core::CampaignOptions opt;
+  opt.cap = 40;
+  const auto direct =
+      core::Campaign::run(OsVariant::kLinux, world.registry, opt);
+
+  Channel ch;
+  TestClient client(ch.b(), OsVariant::kLinux, world.registry, 40,
+                    opt.seed);
+  TestServer server(ch.a(), world.registry, 40, opt.seed);
+  const auto over_rpc =
+      server.run(OsVariant::kLinux, [&] { client.poll(); });
+
+  ASSERT_EQ(direct.stats.size(), over_rpc.stats.size());
+  for (std::size_t i = 0; i < direct.stats.size(); ++i) {
+    EXPECT_EQ(direct.stats[i].mut->name, over_rpc.stats[i].mut->name);
+    EXPECT_EQ(direct.stats[i].aborts, over_rpc.stats[i].aborts)
+        << direct.stats[i].mut->name;
+    EXPECT_EQ(direct.stats[i].restarts, over_rpc.stats[i].restarts)
+        << direct.stats[i].mut->name;
+    EXPECT_EQ(direct.stats[i].passes, over_rpc.stats[i].passes)
+        << direct.stats[i].mut->name;
+  }
+  EXPECT_EQ(direct.total_cases, over_rpc.total_cases);
+}
+
+TEST(RpcCampaign, CrashesAreReportedAndRebooted) {
+  const auto& world = shared_world();
+  Channel ch;
+  TestClient client(ch.b(), OsVariant::kWin98, world.registry, 30,
+                    0x8a11157a);
+  TestServer server(ch.a(), world.registry, 30, 0x8a11157a);
+  const auto result = server.run(OsVariant::kWin98, [&] { client.poll(); });
+  const auto* gtc = result.find("GetThreadContext");
+  ASSERT_NE(gtc, nullptr);
+  EXPECT_TRUE(gtc->catastrophic);
+  EXPECT_TRUE(gtc->crash_reproducible_single);  // Listing 1 reproduces
+  EXPECT_GT(client.reboots(), 0);
+  EXPECT_GT(result.reboots, 0);
+}
+
+TEST(CeFileDrop, ResultsTravelThroughTheTargetFilesystem) {
+  const auto& world = shared_world();
+  sim::Machine target(OsVariant::kWinCE);
+  CeFileDropClient client(target, world.registry, 30, 0x8a11157a);
+  ASSERT_TRUE(client.execute({"GetTickCount", 0}));
+  // The result file is on the target.
+  auto& fs = target.fs();
+  auto node = fs.resolve(fs.parse("/tmp/ballista_result.txt",
+                                  sim::FileSystem::root_path()));
+  ASSERT_NE(node, nullptr);
+  const std::string text(node->data().begin(), node->data().end());
+  EXPECT_NE(text.find("GetTickCount 0"), std::string::npos);
+}
+
+TEST(CeFileDrop, CrashLeavesNoResultFile) {
+  const auto& world = shared_world();
+  sim::Machine target(OsVariant::kWinCE);
+  CeFileDropClient client(target, world.registry, 30, 0x8a11157a);
+  // Find the Listing 1 case index: run through a few cases of
+  // GetThreadContext until the machine dies.
+  const core::MuT* mut = world.registry.find("GetThreadContext");
+  core::TupleGenerator gen(*mut, 30, 0x8a11157a);
+  bool crashed = false;
+  for (std::uint64_t i = 0; i < gen.count(); ++i) {
+    if (!client.execute({"GetThreadContext", i})) {
+      crashed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(crashed);
+  EXPECT_TRUE(target.crashed());
+}
+
+TEST(CeFileDrop, FullCampaignReproducesCeCatastrophics) {
+  const auto result =
+      run_ce_file_drop_campaign(shared_world().registry, /*cap=*/40);
+  EXPECT_EQ(result.variant, OsVariant::kWinCE);
+  const auto list = core::catastrophic_list(result);
+  std::set<std::string> names;
+  for (const auto& e : list) names.insert(e.name);
+  EXPECT_TRUE(names.count("GetThreadContext"));
+  EXPECT_TRUE(names.count("VirtualAlloc"));
+  EXPECT_TRUE(names.count("fclose"));
+  EXPECT_GT(result.reboots, 10);
+}
+
+TEST(CeFileDrop, IsSlowerByOrdersOfMagnitude) {
+  // §3.2: each CE case costs seconds of target time.
+  const auto& world = shared_world();
+  sim::Machine target(OsVariant::kWinCE);
+  CeFileDropClient client(target, world.registry, 30, 0x8a11157a);
+  const auto t0 = target.ticks();
+  ASSERT_TRUE(client.execute({"GetTickCount", 0}));
+  EXPECT_GT(target.ticks() - t0, 5'000u);
+}
+
+}  // namespace
+}  // namespace ballista::rpc

@@ -1,0 +1,72 @@
+// Shared helpers for the test suite: one-off machines, call contexts and
+// single-case execution against the full world catalog.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/ballista.h"
+#include "harness/world.h"
+
+namespace ballista::testing {
+
+/// A machine plus one task plus an anonymous MuT descriptor, for exercising
+/// CallContext-level behaviour directly.
+struct CallFixture {
+  explicit CallFixture(sim::OsVariant v,
+                       core::CrashStyle hazard = core::CrashStyle::kNone)
+      : machine(v) {
+    proc = machine.create_process();
+    mut.name = "test_fn";
+    mut.api = core::ApiKind::kCLib;
+    mut.variant_mask = core::kMaskEverything;
+    if (hazard != core::CrashStyle::kNone) mut.hazards[v] = hazard;
+  }
+
+  core::CallContext ctx(std::vector<core::RawArg> args_in = {}) {
+    args = std::move(args_in);
+    return core::CallContext(machine, *proc, mut, args);
+  }
+
+  sim::Machine machine;
+  std::unique_ptr<sim::SimProcess> proc;
+  core::MuT mut;
+  std::vector<core::RawArg> args;
+};
+
+/// Looks up a named test value in a data type's pool (fails the test if
+/// absent).
+inline const core::TestValue* find_value(const core::DataType& t,
+                                         std::string_view name) {
+  for (const core::TestValue* v : t.values())
+    if (v->name == name) return v;
+  ADD_FAILURE() << "no test value named " << name << " in " << t.name();
+  return nullptr;
+}
+
+/// Runs one call of a registered MuT on a fresh machine, with the tuple
+/// selected by value names (one per parameter).
+inline core::CaseResult run_named_case(
+    const harness::World& world, sim::OsVariant /*v*/,
+    std::string_view mut_name, const std::vector<std::string>& value_names,
+    sim::Machine* machine) {
+  const core::MuT* mut = world.registry.find(mut_name);
+  EXPECT_NE(mut, nullptr) << mut_name;
+  EXPECT_EQ(mut->params.size(), value_names.size()) << mut_name;
+  std::vector<const core::TestValue*> tuple;
+  for (std::size_t i = 0; i < value_names.size(); ++i)
+    tuple.push_back(find_value(*mut->params[i], value_names[i]));
+  core::Executor executor(*machine);
+  return executor.run_case(*mut, tuple);
+}
+
+/// Shared world built once per test binary (registration is idempotent and
+/// read-only afterwards).
+inline const harness::World& shared_world() {
+  static const std::unique_ptr<harness::World> world = harness::build_world();
+  return *world;
+}
+
+}  // namespace ballista::testing

@@ -1,0 +1,269 @@
+// ballista_cli — command-line driver for the reproduction.
+//
+//   ballista_cli list-muts  [--os NAME] [--api sys|clib]
+//   ballista_cli list-types
+//   ballista_cli run        [--os NAME] [--cap N] [--seed S] [--api sys|clib]
+//                           [--mut-csv FILE] [--value-csv FILE] [--analyze]
+//   ballista_cli repro      --os NAME --mut NAME --case I [--cap N] [--seed S]
+//   ballista_cli crashes    [--os NAME] [--cap N]
+//   ballista_cli tables     [--cap N]        (tables 1-3 + figures 1-2)
+//
+// OS names: win95 win98 win98se nt4 win2000 wince linux (default: all where
+// a single OS is not required).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "core/ballista.h"
+#include "harness/world.h"
+
+namespace {
+
+using namespace ballista;
+
+std::optional<sim::OsVariant> parse_os(const std::string& s) {
+  if (s == "win95") return sim::OsVariant::kWin95;
+  if (s == "win98") return sim::OsVariant::kWin98;
+  if (s == "win98se") return sim::OsVariant::kWin98SE;
+  if (s == "nt4") return sim::OsVariant::kWinNT4;
+  if (s == "win2000") return sim::OsVariant::kWin2000;
+  if (s == "wince") return sim::OsVariant::kWinCE;
+  if (s == "linux") return sim::OsVariant::kLinux;
+  return std::nullopt;
+}
+
+struct Args {
+  std::string command;
+  std::optional<sim::OsVariant> os;
+  std::optional<core::ApiKind> api;
+  std::uint64_t cap = core::kDefaultCap;
+  std::uint64_t seed = 0x8a11157a;
+  std::string mut;
+  std::uint64_t case_index = 0;
+  std::string mut_csv, value_csv;
+  bool analyze = false;
+  bool ok = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc < 2) {
+    a.ok = false;
+    return a;
+  }
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        a.ok = false;
+        return "";
+      }
+      return argv[++i];
+    };
+    if (flag == "--os") {
+      a.os = parse_os(next());
+      if (!a.os) a.ok = false;
+    } else if (flag == "--cap") {
+      a.cap = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--seed") {
+      a.seed = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--mut") {
+      a.mut = next();
+    } else if (flag == "--case") {
+      a.case_index = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--mut-csv") {
+      a.mut_csv = next();
+    } else if (flag == "--value-csv") {
+      a.value_csv = next();
+    } else if (flag == "--analyze") {
+      a.analyze = true;
+    } else if (flag == "--api") {
+      const std::string v = next();
+      if (v == "sys")
+        a.api = core::ApiKind::kWin32Sys;  // resolved per-OS below
+      else if (v == "clib")
+        a.api = core::ApiKind::kCLib;
+      else
+        a.ok = false;
+    } else {
+      a.ok = false;
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: ballista_cli <command> [flags]\n"
+      "  list-muts [--os NAME] [--api sys|clib]   catalog of modules under test\n"
+      "  list-types                               data types and value pools\n"
+      "  run [--os NAME] [--cap N] [--seed S] [--api sys|clib]\n"
+      "      [--mut-csv F] [--value-csv F] [--analyze]\n"
+      "  repro --os NAME --mut NAME --case I      single-test reproduction\n"
+      "  crashes [--os NAME] [--cap N]            Catastrophic function lists\n"
+      "  tables [--cap N]                         all paper tables and figures\n"
+      "OS names: win95 win98 win98se nt4 win2000 wince linux\n";
+  return 2;
+}
+
+core::ApiKind sys_kind_for(sim::OsVariant v) {
+  return v == sim::OsVariant::kLinux ? core::ApiKind::kPosixSys
+                                     : core::ApiKind::kWin32Sys;
+}
+
+std::vector<sim::OsVariant> os_list(const Args& a) {
+  if (a.os) return {*a.os};
+  return {sim::kAllVariants.begin(), sim::kAllVariants.end()};
+}
+
+int cmd_list_muts(const harness::World& world, const Args& a) {
+  const sim::OsVariant v = a.os.value_or(sim::OsVariant::kWinNT4);
+  int n = 0;
+  for (const core::MuT* m : world.registry.for_variant(v)) {
+    if (a.api) {
+      const core::ApiKind want =
+          *a.api == core::ApiKind::kWin32Sys ? sys_kind_for(v) : *a.api;
+      if (m->api != want) continue;
+    }
+    std::cout << m->name << "  [" << core::group_name(m->group) << "]  "
+              << m->params.size() << " params";
+    if (m->hazard_on(v) != core::CrashStyle::kNone)
+      std::cout << "  HAZARD"
+                << (m->hazard_on(v) == core::CrashStyle::kDeferred ? "*" : "");
+    std::cout << "\n";
+    ++n;
+  }
+  std::cout << "-- " << n << " modules under test on " << sim::variant_name(v)
+            << "\n";
+  return 0;
+}
+
+int cmd_list_types(const harness::World& world) {
+  for (const auto& t : world.types.types()) {
+    std::cout << t->name();
+    if (t->parent() != nullptr) std::cout << " : " << t->parent()->name();
+    std::cout << "  (" << t->value_count() << " values)\n";
+    for (const core::TestValue* v : t->values())
+      std::cout << "    " << (v->exceptional ? "! " : "  ") << v->name
+                << "\n";
+  }
+  std::cout << "-- " << world.types.type_count() << " types, "
+            << world.types.total_values() << " test values\n";
+  return 0;
+}
+
+int cmd_run(const harness::World& world, const Args& a) {
+  std::vector<core::CampaignResult> results;
+  for (sim::OsVariant v : os_list(a)) {
+    core::CampaignOptions opt;
+    opt.cap = a.cap;
+    opt.seed = a.seed;
+    if (a.api)
+      opt.only_api =
+          *a.api == core::ApiKind::kWin32Sys ? sys_kind_for(v) : *a.api;
+    results.push_back(core::Campaign::run(v, world.registry, opt));
+  }
+  core::print_table1(std::cout, results);
+  for (const auto& r : results) {
+    if (!a.mut_csv.empty()) {
+      std::ofstream f(a.mut_csv, results.size() == 1
+                                     ? std::ios::out
+                                     : std::ios::app);
+      core::write_mut_csv(f, r);
+    }
+    if (a.analyze || !a.value_csv.empty()) {
+      const auto analysis = core::analyze_values(r, a.cap, a.seed);
+      if (a.analyze) {
+        std::cout << "\n" << sim::variant_name(r.variant) << "\n";
+        core::print_value_analysis(std::cout, analysis);
+      }
+      if (!a.value_csv.empty()) {
+        std::ofstream f(a.value_csv);
+        core::write_value_csv(f, analysis);
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_repro(const harness::World& world, const Args& a) {
+  if (!a.os || a.mut.empty()) return usage();
+  const core::MuT* mut = world.registry.find(a.mut);
+  if (mut == nullptr) {
+    std::cerr << "no such MuT: " << a.mut << "\n";
+    return 1;
+  }
+  if (!mut->supported_on(*a.os)) {
+    std::cerr << a.mut << " is not part of the "
+              << sim::variant_name(*a.os) << " API\n";
+    return 1;
+  }
+  core::TupleGenerator gen(*mut, a.cap, a.seed);
+  if (a.case_index >= gen.count()) {
+    std::cerr << "case index out of range (0.." << gen.count() - 1 << ")\n";
+    return 1;
+  }
+  const auto tuple = gen.tuple(a.case_index);
+  std::cout << a.mut << " case " << a.case_index << " = (";
+  for (std::size_t i = 0; i < tuple.size(); ++i)
+    std::cout << (i ? ", " : "") << tuple[i]->name;
+  std::cout << ")\n";
+
+  sim::Machine machine(*a.os);
+  core::Executor executor(machine);
+  const core::CaseResult r = executor.run_case(*mut, tuple);
+  std::cout << "outcome: " << core::outcome_name(r.outcome);
+  if (!r.detail.empty()) std::cout << "  (" << r.detail << ")";
+  std::cout << "\n";
+  if (machine.crashed())
+    std::cout << "machine state: CRASHED — reboot required\n";
+  return r.outcome == core::Outcome::kPass ? 0 : 1;
+}
+
+int cmd_crashes(const harness::World& world, const Args& a) {
+  std::vector<core::CampaignResult> results;
+  for (sim::OsVariant v : os_list(a)) {
+    core::CampaignOptions opt;
+    opt.cap = a.cap;
+    opt.seed = a.seed;
+    results.push_back(core::Campaign::run(v, world.registry, opt));
+  }
+  core::print_table3(std::cout, results);
+  return 0;
+}
+
+int cmd_tables(const harness::World& world, const Args& a) {
+  core::CampaignOptions opt;
+  opt.cap = a.cap;
+  opt.seed = a.seed;
+  auto results = harness::run_all_variants(world, opt);
+  core::print_table1(std::cout, results);
+  std::cout << "\n";
+  core::print_table2(std::cout, results);
+  std::cout << "\n";
+  core::print_figure1(std::cout, results);
+  std::cout << "\n";
+  core::print_table3(std::cout, results);
+  std::cout << "\n";
+  auto desktops = harness::desktop_subset(std::move(results));
+  const auto voted = core::vote_silent(desktops);
+  core::print_figure2(std::cout, desktops, voted);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  if (!a.ok) return usage();
+  auto world = harness::build_world();
+  if (a.command == "list-muts") return cmd_list_muts(*world, a);
+  if (a.command == "list-types") return cmd_list_types(*world);
+  if (a.command == "run") return cmd_run(*world, a);
+  if (a.command == "repro") return cmd_repro(*world, a);
+  if (a.command == "crashes") return cmd_crashes(*world, a);
+  if (a.command == "tables") return cmd_tables(*world, a);
+  return usage();
+}
