@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_harness_micro.dir/bench_harness_micro.cc.o"
+  "CMakeFiles/bench_harness_micro.dir/bench_harness_micro.cc.o.d"
+  "bench_harness_micro"
+  "bench_harness_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harness_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listing1.dir/bench_listing1.cc.o"
+  "CMakeFiles/bench_listing1.dir/bench_listing1.cc.o.d"
+  "bench_listing1"
+  "bench_listing1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listing1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

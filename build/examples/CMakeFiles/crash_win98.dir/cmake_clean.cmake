@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_win98.dir/crash_win98.cpp.o"
+  "CMakeFiles/crash_win98.dir/crash_win98.cpp.o.d"
+  "crash_win98"
+  "crash_win98.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_win98.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

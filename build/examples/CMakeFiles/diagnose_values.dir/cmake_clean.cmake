@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_values.dir/diagnose_values.cpp.o"
+  "CMakeFiles/diagnose_values.dir/diagnose_values.cpp.o.d"
+  "diagnose_values"
+  "diagnose_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_wrappers.dir/harden_wrappers.cpp.o"
+  "CMakeFiles/harden_wrappers.dir/harden_wrappers.cpp.o.d"
+  "harden_wrappers"
+  "harden_wrappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_wrappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

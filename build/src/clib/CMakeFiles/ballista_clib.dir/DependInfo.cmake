@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clib/char_fns.cc" "src/clib/CMakeFiles/ballista_clib.dir/char_fns.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/char_fns.cc.o.d"
+  "/root/repo/src/clib/clib_types.cc" "src/clib/CMakeFiles/ballista_clib.dir/clib_types.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/clib_types.cc.o.d"
+  "/root/repo/src/clib/crt.cc" "src/clib/CMakeFiles/ballista_clib.dir/crt.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/crt.cc.o.d"
+  "/root/repo/src/clib/math_fns.cc" "src/clib/CMakeFiles/ballista_clib.dir/math_fns.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/math_fns.cc.o.d"
+  "/root/repo/src/clib/memory_fns.cc" "src/clib/CMakeFiles/ballista_clib.dir/memory_fns.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/memory_fns.cc.o.d"
+  "/root/repo/src/clib/stdio_file_fns.cc" "src/clib/CMakeFiles/ballista_clib.dir/stdio_file_fns.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/stdio_file_fns.cc.o.d"
+  "/root/repo/src/clib/stream_fns.cc" "src/clib/CMakeFiles/ballista_clib.dir/stream_fns.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/stream_fns.cc.o.d"
+  "/root/repo/src/clib/string_fns.cc" "src/clib/CMakeFiles/ballista_clib.dir/string_fns.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/string_fns.cc.o.d"
+  "/root/repo/src/clib/time_fns.cc" "src/clib/CMakeFiles/ballista_clib.dir/time_fns.cc.o" "gcc" "src/clib/CMakeFiles/ballista_clib.dir/time_fns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ballista_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ballista_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_clib.dir/char_fns.cc.o"
+  "CMakeFiles/ballista_clib.dir/char_fns.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/clib_types.cc.o"
+  "CMakeFiles/ballista_clib.dir/clib_types.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/crt.cc.o"
+  "CMakeFiles/ballista_clib.dir/crt.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/math_fns.cc.o"
+  "CMakeFiles/ballista_clib.dir/math_fns.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/memory_fns.cc.o"
+  "CMakeFiles/ballista_clib.dir/memory_fns.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/stdio_file_fns.cc.o"
+  "CMakeFiles/ballista_clib.dir/stdio_file_fns.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/stream_fns.cc.o"
+  "CMakeFiles/ballista_clib.dir/stream_fns.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/string_fns.cc.o"
+  "CMakeFiles/ballista_clib.dir/string_fns.cc.o.d"
+  "CMakeFiles/ballista_clib.dir/time_fns.cc.o"
+  "CMakeFiles/ballista_clib.dir/time_fns.cc.o.d"
+  "libballista_clib.a"
+  "libballista_clib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_clib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ballista_clib.
+# This may be replaced when dependencies are built.

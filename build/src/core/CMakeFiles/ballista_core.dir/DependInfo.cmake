@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/ballista_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/ballista_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/execctx.cc" "src/core/CMakeFiles/ballista_core.dir/execctx.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/execctx.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/ballista_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/generator.cc" "src/core/CMakeFiles/ballista_core.dir/generator.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/generator.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/ballista_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/report.cc.o.d"
+  "/root/repo/src/core/typelib.cc" "src/core/CMakeFiles/ballista_core.dir/typelib.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/typelib.cc.o.d"
+  "/root/repo/src/core/voting.cc" "src/core/CMakeFiles/ballista_core.dir/voting.cc.o" "gcc" "src/core/CMakeFiles/ballista_core.dir/voting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ballista_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

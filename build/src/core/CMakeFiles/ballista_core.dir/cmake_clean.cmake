@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_core.dir/analysis.cc.o"
+  "CMakeFiles/ballista_core.dir/analysis.cc.o.d"
+  "CMakeFiles/ballista_core.dir/campaign.cc.o"
+  "CMakeFiles/ballista_core.dir/campaign.cc.o.d"
+  "CMakeFiles/ballista_core.dir/execctx.cc.o"
+  "CMakeFiles/ballista_core.dir/execctx.cc.o.d"
+  "CMakeFiles/ballista_core.dir/executor.cc.o"
+  "CMakeFiles/ballista_core.dir/executor.cc.o.d"
+  "CMakeFiles/ballista_core.dir/generator.cc.o"
+  "CMakeFiles/ballista_core.dir/generator.cc.o.d"
+  "CMakeFiles/ballista_core.dir/report.cc.o"
+  "CMakeFiles/ballista_core.dir/report.cc.o.d"
+  "CMakeFiles/ballista_core.dir/typelib.cc.o"
+  "CMakeFiles/ballista_core.dir/typelib.cc.o.d"
+  "CMakeFiles/ballista_core.dir/voting.cc.o"
+  "CMakeFiles/ballista_core.dir/voting.cc.o.d"
+  "libballista_core.a"
+  "libballista_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

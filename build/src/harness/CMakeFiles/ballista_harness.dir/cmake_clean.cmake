@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_harness.dir/stress.cc.o"
+  "CMakeFiles/ballista_harness.dir/stress.cc.o.d"
+  "CMakeFiles/ballista_harness.dir/world.cc.o"
+  "CMakeFiles/ballista_harness.dir/world.cc.o.d"
+  "libballista_harness.a"
+  "libballista_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posix/env_calls.cc" "src/posix/CMakeFiles/ballista_posix.dir/env_calls.cc.o" "gcc" "src/posix/CMakeFiles/ballista_posix.dir/env_calls.cc.o.d"
+  "/root/repo/src/posix/fs_calls.cc" "src/posix/CMakeFiles/ballista_posix.dir/fs_calls.cc.o" "gcc" "src/posix/CMakeFiles/ballista_posix.dir/fs_calls.cc.o.d"
+  "/root/repo/src/posix/io_calls.cc" "src/posix/CMakeFiles/ballista_posix.dir/io_calls.cc.o" "gcc" "src/posix/CMakeFiles/ballista_posix.dir/io_calls.cc.o.d"
+  "/root/repo/src/posix/mem_calls.cc" "src/posix/CMakeFiles/ballista_posix.dir/mem_calls.cc.o" "gcc" "src/posix/CMakeFiles/ballista_posix.dir/mem_calls.cc.o.d"
+  "/root/repo/src/posix/posix_common.cc" "src/posix/CMakeFiles/ballista_posix.dir/posix_common.cc.o" "gcc" "src/posix/CMakeFiles/ballista_posix.dir/posix_common.cc.o.d"
+  "/root/repo/src/posix/posix_types.cc" "src/posix/CMakeFiles/ballista_posix.dir/posix_types.cc.o" "gcc" "src/posix/CMakeFiles/ballista_posix.dir/posix_types.cc.o.d"
+  "/root/repo/src/posix/proc_calls.cc" "src/posix/CMakeFiles/ballista_posix.dir/proc_calls.cc.o" "gcc" "src/posix/CMakeFiles/ballista_posix.dir/proc_calls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ballista_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clib/CMakeFiles/ballista_clib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ballista_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

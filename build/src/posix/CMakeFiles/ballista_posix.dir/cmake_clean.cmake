@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_posix.dir/env_calls.cc.o"
+  "CMakeFiles/ballista_posix.dir/env_calls.cc.o.d"
+  "CMakeFiles/ballista_posix.dir/fs_calls.cc.o"
+  "CMakeFiles/ballista_posix.dir/fs_calls.cc.o.d"
+  "CMakeFiles/ballista_posix.dir/io_calls.cc.o"
+  "CMakeFiles/ballista_posix.dir/io_calls.cc.o.d"
+  "CMakeFiles/ballista_posix.dir/mem_calls.cc.o"
+  "CMakeFiles/ballista_posix.dir/mem_calls.cc.o.d"
+  "CMakeFiles/ballista_posix.dir/posix_common.cc.o"
+  "CMakeFiles/ballista_posix.dir/posix_common.cc.o.d"
+  "CMakeFiles/ballista_posix.dir/posix_types.cc.o"
+  "CMakeFiles/ballista_posix.dir/posix_types.cc.o.d"
+  "CMakeFiles/ballista_posix.dir/proc_calls.cc.o"
+  "CMakeFiles/ballista_posix.dir/proc_calls.cc.o.d"
+  "libballista_posix.a"
+  "libballista_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

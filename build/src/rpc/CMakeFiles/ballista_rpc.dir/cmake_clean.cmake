@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_rpc.dir/channel.cc.o"
+  "CMakeFiles/ballista_rpc.dir/channel.cc.o.d"
+  "CMakeFiles/ballista_rpc.dir/harness_rpc.cc.o"
+  "CMakeFiles/ballista_rpc.dir/harness_rpc.cc.o.d"
+  "CMakeFiles/ballista_rpc.dir/protocol.cc.o"
+  "CMakeFiles/ballista_rpc.dir/protocol.cc.o.d"
+  "libballista_rpc.a"
+  "libballista_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

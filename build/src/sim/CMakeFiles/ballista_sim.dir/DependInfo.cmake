@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/addrspace.cc" "src/sim/CMakeFiles/ballista_sim.dir/addrspace.cc.o" "gcc" "src/sim/CMakeFiles/ballista_sim.dir/addrspace.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/sim/CMakeFiles/ballista_sim.dir/fault.cc.o" "gcc" "src/sim/CMakeFiles/ballista_sim.dir/fault.cc.o.d"
+  "/root/repo/src/sim/filesystem.cc" "src/sim/CMakeFiles/ballista_sim.dir/filesystem.cc.o" "gcc" "src/sim/CMakeFiles/ballista_sim.dir/filesystem.cc.o.d"
+  "/root/repo/src/sim/kobject.cc" "src/sim/CMakeFiles/ballista_sim.dir/kobject.cc.o" "gcc" "src/sim/CMakeFiles/ballista_sim.dir/kobject.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/ballista_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/ballista_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/personality.cc" "src/sim/CMakeFiles/ballista_sim.dir/personality.cc.o" "gcc" "src/sim/CMakeFiles/ballista_sim.dir/personality.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/sim/CMakeFiles/ballista_sim.dir/process.cc.o" "gcc" "src/sim/CMakeFiles/ballista_sim.dir/process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

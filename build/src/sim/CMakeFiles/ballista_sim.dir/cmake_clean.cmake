@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_sim.dir/addrspace.cc.o"
+  "CMakeFiles/ballista_sim.dir/addrspace.cc.o.d"
+  "CMakeFiles/ballista_sim.dir/fault.cc.o"
+  "CMakeFiles/ballista_sim.dir/fault.cc.o.d"
+  "CMakeFiles/ballista_sim.dir/filesystem.cc.o"
+  "CMakeFiles/ballista_sim.dir/filesystem.cc.o.d"
+  "CMakeFiles/ballista_sim.dir/kobject.cc.o"
+  "CMakeFiles/ballista_sim.dir/kobject.cc.o.d"
+  "CMakeFiles/ballista_sim.dir/machine.cc.o"
+  "CMakeFiles/ballista_sim.dir/machine.cc.o.d"
+  "CMakeFiles/ballista_sim.dir/personality.cc.o"
+  "CMakeFiles/ballista_sim.dir/personality.cc.o.d"
+  "CMakeFiles/ballista_sim.dir/process.cc.o"
+  "CMakeFiles/ballista_sim.dir/process.cc.o.d"
+  "libballista_sim.a"
+  "libballista_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

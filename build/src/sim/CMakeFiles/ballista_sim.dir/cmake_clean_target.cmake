@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libballista_sim.a"
+)

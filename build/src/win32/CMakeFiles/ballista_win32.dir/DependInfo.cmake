@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/win32/env_calls.cc" "src/win32/CMakeFiles/ballista_win32.dir/env_calls.cc.o" "gcc" "src/win32/CMakeFiles/ballista_win32.dir/env_calls.cc.o.d"
+  "/root/repo/src/win32/file_calls.cc" "src/win32/CMakeFiles/ballista_win32.dir/file_calls.cc.o" "gcc" "src/win32/CMakeFiles/ballista_win32.dir/file_calls.cc.o.d"
+  "/root/repo/src/win32/io_calls.cc" "src/win32/CMakeFiles/ballista_win32.dir/io_calls.cc.o" "gcc" "src/win32/CMakeFiles/ballista_win32.dir/io_calls.cc.o.d"
+  "/root/repo/src/win32/memory_calls.cc" "src/win32/CMakeFiles/ballista_win32.dir/memory_calls.cc.o" "gcc" "src/win32/CMakeFiles/ballista_win32.dir/memory_calls.cc.o.d"
+  "/root/repo/src/win32/proc_calls.cc" "src/win32/CMakeFiles/ballista_win32.dir/proc_calls.cc.o" "gcc" "src/win32/CMakeFiles/ballista_win32.dir/proc_calls.cc.o.d"
+  "/root/repo/src/win32/win32_common.cc" "src/win32/CMakeFiles/ballista_win32.dir/win32_common.cc.o" "gcc" "src/win32/CMakeFiles/ballista_win32.dir/win32_common.cc.o.d"
+  "/root/repo/src/win32/win32_types.cc" "src/win32/CMakeFiles/ballista_win32.dir/win32_types.cc.o" "gcc" "src/win32/CMakeFiles/ballista_win32.dir/win32_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ballista_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clib/CMakeFiles/ballista_clib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ballista_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_win32.dir/env_calls.cc.o"
+  "CMakeFiles/ballista_win32.dir/env_calls.cc.o.d"
+  "CMakeFiles/ballista_win32.dir/file_calls.cc.o"
+  "CMakeFiles/ballista_win32.dir/file_calls.cc.o.d"
+  "CMakeFiles/ballista_win32.dir/io_calls.cc.o"
+  "CMakeFiles/ballista_win32.dir/io_calls.cc.o.d"
+  "CMakeFiles/ballista_win32.dir/memory_calls.cc.o"
+  "CMakeFiles/ballista_win32.dir/memory_calls.cc.o.d"
+  "CMakeFiles/ballista_win32.dir/proc_calls.cc.o"
+  "CMakeFiles/ballista_win32.dir/proc_calls.cc.o.d"
+  "CMakeFiles/ballista_win32.dir/win32_common.cc.o"
+  "CMakeFiles/ballista_win32.dir/win32_common.cc.o.d"
+  "CMakeFiles/ballista_win32.dir/win32_types.cc.o"
+  "CMakeFiles/ballista_win32.dir/win32_types.cc.o.d"
+  "libballista_win32.a"
+  "libballista_win32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_win32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

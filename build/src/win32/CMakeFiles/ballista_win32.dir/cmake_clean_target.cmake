@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libballista_win32.a"
+)

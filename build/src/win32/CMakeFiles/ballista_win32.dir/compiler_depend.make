@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ballista_win32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/addrspace_test.cc" "tests/CMakeFiles/ballista_tests.dir/addrspace_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/addrspace_test.cc.o.d"
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/ballista_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/campaign_test.cc" "tests/CMakeFiles/ballista_tests.dir/campaign_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/campaign_test.cc.o.d"
+  "/root/repo/tests/clib_char_string_test.cc" "tests/CMakeFiles/ballista_tests.dir/clib_char_string_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/clib_char_string_test.cc.o.d"
+  "/root/repo/tests/clib_detail_test.cc" "tests/CMakeFiles/ballista_tests.dir/clib_detail_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/clib_detail_test.cc.o.d"
+  "/root/repo/tests/clib_memory_math_time_test.cc" "tests/CMakeFiles/ballista_tests.dir/clib_memory_math_time_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/clib_memory_math_time_test.cc.o.d"
+  "/root/repo/tests/clib_stdio_test.cc" "tests/CMakeFiles/ballista_tests.dir/clib_stdio_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/clib_stdio_test.cc.o.d"
+  "/root/repo/tests/execctx_test.cc" "tests/CMakeFiles/ballista_tests.dir/execctx_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/execctx_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/ballista_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/filesystem_test.cc" "tests/CMakeFiles/ballista_tests.dir/filesystem_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/filesystem_test.cc.o.d"
+  "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/ballista_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/generator_test.cc.o.d"
+  "/root/repo/tests/hindering_test.cc" "tests/CMakeFiles/ballista_tests.dir/hindering_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/hindering_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ballista_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kobject_test.cc" "tests/CMakeFiles/ballista_tests.dir/kobject_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/kobject_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/ballista_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/posix_detail_test.cc" "tests/CMakeFiles/ballista_tests.dir/posix_detail_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/posix_detail_test.cc.o.d"
+  "/root/repo/tests/posix_test.cc" "tests/CMakeFiles/ballista_tests.dir/posix_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/posix_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ballista_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/protocol_fuzz_test.cc" "tests/CMakeFiles/ballista_tests.dir/protocol_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/protocol_fuzz_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/ballista_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/rpc_test.cc" "tests/CMakeFiles/ballista_tests.dir/rpc_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/rpc_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/ballista_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/voting_test.cc" "tests/CMakeFiles/ballista_tests.dir/voting_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/voting_test.cc.o.d"
+  "/root/repo/tests/win32_env_file_test.cc" "tests/CMakeFiles/ballista_tests.dir/win32_env_file_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/win32_env_file_test.cc.o.d"
+  "/root/repo/tests/win32_proc_detail_test.cc" "tests/CMakeFiles/ballista_tests.dir/win32_proc_detail_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/win32_proc_detail_test.cc.o.d"
+  "/root/repo/tests/win32_test.cc" "tests/CMakeFiles/ballista_tests.dir/win32_test.cc.o" "gcc" "tests/CMakeFiles/ballista_tests.dir/win32_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ballista_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ballista_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/win32/CMakeFiles/ballista_win32.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/ballista_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/clib/CMakeFiles/ballista_clib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ballista_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ballista_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballista_cli.dir/ballista_cli.cc.o"
+  "CMakeFiles/ballista_cli.dir/ballista_cli.cc.o.d"
+  "ballista_cli"
+  "ballista_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballista_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
