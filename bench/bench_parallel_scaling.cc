@@ -1,0 +1,101 @@
+// Parallel-engine scaling: runs the full all-variant campaign at 1/2/4/8
+// worker threads, reports cases/sec and speedup as JSON (stdout and
+// BENCH_parallel.json), and asserts that every worker count produced the
+// same merged CampaignResult — the engine's determinism contract.
+//
+// Speedup is bounded by the host's core count (recorded as
+// "hardware_concurrency"); on a single-core host all worker counts
+// serialize and speedup stays ~1.0 while determinism is still exercised.
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace ballista;
+
+bool same_result(const core::CampaignResult& a, const core::CampaignResult& b) {
+  if (a.variant != b.variant || a.reboots != b.reboots ||
+      a.total_cases != b.total_cases || a.stats.size() != b.stats.size())
+    return false;
+  for (std::size_t i = 0; i < a.stats.size(); ++i) {
+    const auto& x = a.stats[i];
+    const auto& y = b.stats[i];
+    if (x.mut != y.mut || x.planned != y.planned || x.executed != y.executed ||
+        x.passes != y.passes || x.aborts != y.aborts ||
+        x.restarts != y.restarts ||
+        x.silent_candidates != y.silent_candidates ||
+        x.hindering != y.hindering || x.catastrophic != y.catastrophic ||
+        x.crash_case != y.crash_case || x.crash_detail != y.crash_detail ||
+        x.crash_tuple != y.crash_tuple ||
+        x.crash_reproducible_single != y.crash_reproducible_single ||
+        x.case_codes != y.case_codes)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const auto world = harness::build_world();
+
+  struct Run {
+    unsigned jobs;
+    double seconds;
+    std::uint64_t cases;
+  };
+  std::vector<Run> runs;
+  std::vector<std::vector<core::CampaignResult>> all_results;
+
+  for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+    core::CampaignOptions copt;
+    copt.cap = opt.cap;
+    copt.seed = opt.seed;
+    copt.jobs = jobs;
+    const auto start = std::chrono::steady_clock::now();
+    auto results = harness::run_all_variants(*world, copt);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    std::uint64_t cases = 0;
+    for (const auto& r : results) cases += r.total_cases;
+    runs.push_back({jobs, secs, cases});
+    all_results.push_back(std::move(results));
+  }
+
+  bool deterministic = true;
+  for (std::size_t j = 1; j < all_results.size(); ++j) {
+    if (all_results[j].size() != all_results[0].size()) deterministic = false;
+    for (std::size_t v = 0; deterministic && v < all_results[0].size(); ++v)
+      if (!same_result(all_results[0][v], all_results[j][v]))
+        deterministic = false;
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"parallel_scaling\",\n"
+       << "  \"cap\": " << opt.cap << ",\n"
+       << "  \"seed\": " << opt.seed << ",\n"
+       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    const double rate = r.seconds > 0 ? r.cases / r.seconds : 0;
+    const double speedup =
+        r.seconds > 0 ? runs[0].seconds / r.seconds : 0;
+    json << "    {\"jobs\": " << r.jobs << ", \"seconds\": " << r.seconds
+         << ", \"cases\": " << r.cases << ", \"cases_per_sec\": " << rate
+         << ", \"speedup\": " << speedup << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::cout << json.str();
+  std::ofstream("BENCH_parallel.json") << json.str();
+  return deterministic ? 0 : 1;
+}

@@ -1,37 +1,18 @@
 #include "core/campaign.h"
 
+#include "core/report.h"
+#include "core/sched.h"
+
 namespace ballista::core {
-
-namespace {
-
-std::string describe_tuple(std::span<const TestValue* const> tuple) {
-  std::string s = "(";
-  for (std::size_t i = 0; i < tuple.size(); ++i) {
-    if (i != 0) s += ", ";
-    s += tuple[i]->name;
-  }
-  s += ")";
-  return s;
-}
-
-CaseCode code_of(const CaseResult& r) {
-  switch (r.outcome) {
-    case Outcome::kAbort: return CaseCode::kAbort;
-    case Outcome::kRestart: return CaseCode::kRestart;
-    case Outcome::kCatastrophic: return CaseCode::kCatastrophic;
-    case Outcome::kPass:
-    case Outcome::kNotRun:
-      break;
-  }
-  if (r.wrong_error) return CaseCode::kHindering;
-  return r.success_no_error ? CaseCode::kPassNoError
-                            : CaseCode::kPassWithError;
-}
-
-}  // namespace
 
 CampaignResult Campaign::run(sim::OsVariant variant, const Registry& registry,
                              const CampaignOptions& opt) {
+  return run_engine(variant, registry, opt);
+}
+
+CampaignResult Campaign::run_sequential(sim::OsVariant variant,
+                                        const Registry& registry,
+                                        const CampaignOptions& opt) {
   CampaignResult result;
   result.variant = variant;
 
@@ -60,7 +41,7 @@ CampaignResult Campaign::run(sim::OsVariant variant, const Registry& registry,
       const CaseResult r = executor.run_case(*mut, tuple);
       ++stats.executed;
       ++result.total_cases;
-      if (opt.record_cases) stats.case_codes.push_back(code_of(r));
+      if (opt.record_cases) stats.case_codes.push_back(case_code(r));
 
       if (machine.arena().corruption() > corruption_seen) {
         corruption_seen = machine.arena().corruption();

@@ -4,6 +4,13 @@
 // and excluded from rate averages), the machine is rebooted, and a
 // single-test reproduction pass decides whether the crash earns the Table 3
 // `*` ("could not isolate the system crash to a single test case").
+//
+// Campaign::run is a façade over the plan/schedule/execute engine
+// (core/plan, core/sched): the test matrix is enumerated into shards, run on
+// a pool of independent machines (CampaignOptions::jobs worker threads), and
+// merged back deterministically.  jobs = 1 reproduces the legacy sequential
+// single-machine behaviour exactly; Campaign::run_sequential keeps the
+// original loop as the reference implementation.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,23 @@ enum class CaseCode : std::uint8_t {
   kCatastrophic = 4,
   kHindering = 5,  // failure reported with a wrong error code
 };
+
+/// Maps a classified CaseResult onto the compact per-case code.  Shared by
+/// the sequential reference loop, the shard executor and the RPC harness so
+/// the three paths can never drift apart.
+inline CaseCode case_code(const CaseResult& r) noexcept {
+  switch (r.outcome) {
+    case Outcome::kAbort: return CaseCode::kAbort;
+    case Outcome::kRestart: return CaseCode::kRestart;
+    case Outcome::kCatastrophic: return CaseCode::kCatastrophic;
+    case Outcome::kPass:
+    case Outcome::kNotRun:
+      break;
+  }
+  if (r.wrong_error) return CaseCode::kHindering;
+  return r.success_no_error ? CaseCode::kPassNoError
+                            : CaseCode::kPassWithError;
+}
 
 struct MutStats {
   const MuT* mut = nullptr;
@@ -74,9 +98,21 @@ struct CampaignOptions {
   /// Load-testing hooks (paper §5 future work).  `machine_setup` runs once
   /// on the freshly booted machine (pre-aging, ambient state); `task_setup`
   /// runs in every test task after creation, before argument construction
-  /// (per-task pressure: handles, heap, filesystem clutter).
+  /// (per-task pressure: handles, heap, filesystem clutter).  Setting
+  /// `machine_setup` forces a single-shard (exactly sequential) plan, since
+  /// a pre-aged machine has no provably clean shard boundaries; `task_setup`
+  /// must be thread-safe when jobs > 1 (it runs concurrently on independent
+  /// machines).
   std::function<void(sim::Machine&)> machine_setup;
   std::function<void(sim::SimProcess&)> task_setup;
+  /// Worker threads for the plan/schedule/execute engine.  1 = sequential
+  /// (bit-identical to the legacy single-machine loop); N > 1 runs shards on
+  /// N independent machines and merges deterministically, so the result is
+  /// identical for every value of `jobs`.
+  unsigned jobs = 1;
+  /// Maximum case-range size when the planner slices hazard-free MuTs into
+  /// parallel shards (see core/plan.h).
+  std::uint64_t shard_cases = 2048;
 };
 
 struct CampaignResult {
@@ -94,8 +130,17 @@ struct CampaignResult {
 
 class Campaign {
  public:
+  /// Runs the campaign through the plan/schedule/execute engine
+  /// (core/plan + core/sched), honouring opt.jobs.
   static CampaignResult run(sim::OsVariant variant, const Registry& registry,
                             const CampaignOptions& opt = {});
+
+  /// The original single-machine sequential loop, kept verbatim as the
+  /// reference implementation the engine's determinism tests compare
+  /// against.  Ignores opt.jobs / opt.shard_cases.
+  static CampaignResult run_sequential(sim::OsVariant variant,
+                                       const Registry& registry,
+                                       const CampaignOptions& opt = {});
 };
 
 }  // namespace ballista::core

@@ -52,6 +52,16 @@ struct Acc {
 
 }  // namespace
 
+std::string describe_tuple(std::span<const TestValue* const> tuple) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += tuple[i]->name;
+  }
+  s += ")";
+  return s;
+}
+
 VariantSummary summarize(const CampaignResult& r) {
   VariantSummary out;
   out.variant = r.variant;

@@ -46,6 +46,12 @@ struct VariantSummary {
 
 VariantSummary summarize(const CampaignResult& r);
 
+/// Renders a test tuple as `(name0, name1, ...)` using the test-value names —
+/// the paper's function_name(value, value, ...) test-case naming.  Shared by
+/// the campaign engine (crash_tuple), the RPC harness and the CLI repro
+/// output.
+std::string describe_tuple(std::span<const TestValue* const> tuple);
+
 struct GroupRate {
   double failure_rate = 0;  // (aborts+restarts)/executed, group-averaged
   double abort_rate = 0;

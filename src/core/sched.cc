@@ -1,0 +1,240 @@
+#include "core/sched.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "core/report.h"
+
+namespace ballista::core {
+
+ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
+                       const CampaignOptions& opt) {
+  ShardOutcome out;
+  out.shard_index = shard.index;
+
+  if (opt.machine_setup) opt.machine_setup(machine);
+  Executor executor(machine);
+  if (opt.task_setup) executor.set_task_setup(opt.task_setup);
+
+  // Index (into out.partials) of the MuT whose test case most recently
+  // corrupted the shared arena: deferred panics are blamed on it.  The plan
+  // guarantees corruption never crosses a shard boundary, so chain-local
+  // blame reproduces the sequential campaign's blame exactly.
+  std::int64_t last_corruptor = -1;
+  int corruption_seen = machine.arena().corruption();
+
+  for (const ShardItem& item : shard.items) {
+    const std::int64_t self = static_cast<std::int64_t>(out.partials.size());
+    out.partials.push_back({item.mut_index, item.range.first, {}});
+    MutStats& stats = out.partials.back().stats;
+    stats.mut = item.mut;
+    stats.planned = item.planned;
+    TupleGenerator gen(*item.mut, opt.cap, opt.seed);
+    const std::uint64_t end = item.range.first + item.range.count;
+
+    for (std::uint64_t i = item.range.first; i < end; ++i) {
+      const auto tuple = gen.tuple(i);
+      const CaseResult r = executor.run_case(*item.mut, tuple);
+      ++stats.executed;
+      ++out.executed_cases;
+      if (opt.record_cases) stats.case_codes.push_back(case_code(r));
+
+      if (machine.arena().corruption() > corruption_seen) {
+        corruption_seen = machine.arena().corruption();
+        last_corruptor = self;
+      }
+
+      switch (r.outcome) {
+        case Outcome::kPass:
+          ++stats.passes;
+          if (r.success_no_error && r.any_exceptional)
+            ++stats.silent_candidates;
+          if (r.wrong_error) ++stats.hindering;
+          break;
+        case Outcome::kAbort:
+          ++stats.aborts;
+          break;
+        case Outcome::kRestart:
+          ++stats.restarts;
+          break;
+        case Outcome::kNotRun:
+          break;
+        case Outcome::kCatastrophic: {
+          // Blame the arena corruptor for deferred panics; the immediate
+          // crash is the current MuT's own.
+          const bool deferred =
+              r.detail.find("delayed") != std::string::npos;
+          MutStats* blamed = &stats;
+          if (deferred && last_corruptor >= 0 && last_corruptor != self)
+            blamed =
+                &out.partials[static_cast<std::size_t>(last_corruptor)].stats;
+
+          if (!blamed->catastrophic) {
+            blamed->catastrophic = true;
+            blamed->crash_detail = r.detail;
+            if (blamed == &stats) {
+              blamed->crash_case = static_cast<std::int64_t>(i);
+              blamed->crash_tuple = describe_tuple(tuple);
+            }
+          }
+
+          machine.reboot();
+          ++out.reboots;
+          corruption_seen = 0;
+          last_corruptor = -1;
+
+          if (blamed == &stats) {
+            // Single-test reproduction pass (paper §4): run the crashing
+            // case alone on the rebooted machine.  Immediate-style crashes
+            // reproduce; interference-style ones do not (`*`).
+            if (opt.repro_pass) {
+              const CaseResult rerun = executor.run_case(*item.mut, tuple);
+              stats.crash_reproducible_single =
+                  rerun.outcome == Outcome::kCatastrophic;
+              if (machine.crashed()) {
+                machine.reboot();
+                ++out.reboots;
+              } else if (machine.arena().corruption() > 0) {
+                // The repro attempt may have re-corrupted the arena without
+                // dying; clear it so the next MuT starts clean.
+                machine.reboot();
+              }
+              corruption_seen = 0;
+              last_corruptor = -1;
+            }
+            // The crash interrupted this MuT's test set; it stays incomplete.
+            i = end;  // terminate loop
+          }
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MachinePool::MachinePool(sim::OsVariant variant, unsigned workers)
+    : variant_(variant), machines_(std::max(workers, 1u)) {}
+
+sim::Machine& MachinePool::checkout(unsigned worker) {
+  auto& slot = machines_.at(worker);
+  if (!slot)
+    slot = std::make_unique<sim::Machine>(variant_);
+  else
+    slot->reset();
+  return *slot;
+}
+
+ShardQueue::ShardQueue(const Plan& plan, unsigned workers)
+    : queues_(std::max(workers, 1u)) {
+  for (const Shard& s : plan.shards)
+    queues_[s.index % queues_.size()].push_back(&s);
+}
+
+const Shard* ShardQueue::next(unsigned worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& own = queues_.at(worker);
+  if (!own.empty()) {
+    const Shard* s = own.front();
+    own.pop_front();
+    return s;
+  }
+  // Steal from the back of the richest victim.
+  auto victim = std::max_element(
+      queues_.begin(), queues_.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  if (victim == queues_.end() || victim->empty()) return nullptr;
+  const Shard* s = victim->back();
+  victim->pop_back();
+  return s;
+}
+
+CampaignResult merge_outcomes(const Plan& plan,
+                              std::vector<ShardOutcome> outcomes) {
+  CampaignResult result;
+  result.variant = plan.variant;
+  result.stats.resize(plan.muts.size());
+  for (std::size_t i = 0; i < plan.muts.size(); ++i)
+    result.stats[i].mut = plan.muts[i];
+
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const ShardOutcome& a, const ShardOutcome& b) {
+              return a.shard_index < b.shard_index;
+            });
+
+  for (ShardOutcome& o : outcomes) {
+    result.reboots += o.reboots;
+    result.total_cases += o.executed_cases;
+    for (ShardOutcome::MutPartial& p : o.partials) {
+      MutStats& dst = result.stats.at(p.mut_index);
+      const MutStats& src = p.stats;
+      dst.planned = src.planned;
+      dst.executed += src.executed;
+      dst.passes += src.passes;
+      dst.aborts += src.aborts;
+      dst.restarts += src.restarts;
+      dst.silent_candidates += src.silent_candidates;
+      dst.hindering += src.hindering;
+      // Ranges of one MuT occupy consecutive shards in ascending case order,
+      // so appending per shard keeps case_codes index-aligned.
+      dst.case_codes.insert(dst.case_codes.end(), src.case_codes.begin(),
+                            src.case_codes.end());
+      if (src.catastrophic && !dst.catastrophic) {
+        dst.catastrophic = true;
+        dst.crash_case = src.crash_case;
+        dst.crash_detail = src.crash_detail;
+        dst.crash_tuple = src.crash_tuple;
+        dst.crash_reproducible_single = src.crash_reproducible_single;
+      }
+    }
+  }
+  return result;
+}
+
+CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
+                          const CampaignOptions& opt) {
+  PlanOptions popt;
+  popt.cap = opt.cap;
+  popt.seed = opt.seed;
+  popt.only_api = opt.only_api;
+  popt.shard_cases = opt.shard_cases;
+  popt.single_shard = static_cast<bool>(opt.machine_setup);
+  const Plan plan = make_plan(variant, registry, popt);
+
+  const unsigned jobs =
+      std::max(1u, std::min<unsigned>(
+                       opt.jobs, plan.shards.empty()
+                                     ? 1u
+                                     : static_cast<unsigned>(
+                                           plan.shards.size())));
+  std::vector<ShardOutcome> outcomes(plan.shards.size());
+
+  if (jobs == 1) {
+    MachinePool pool(variant, 1);
+    for (const Shard& s : plan.shards)
+      outcomes[s.index] = run_shard(pool.checkout(0), s, opt);
+  } else {
+    MachinePool pool(variant, jobs);
+    ShardQueue queue(plan, jobs);
+    std::vector<std::exception_ptr> errors(jobs);
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+      workers.emplace_back([&, w] {
+        try {
+          while (const Shard* s = queue.next(w))
+            outcomes[s->index] = run_shard(pool.checkout(w), *s, opt);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+  return merge_outcomes(plan, std::move(outcomes));
+}
+
+}  // namespace ballista::core

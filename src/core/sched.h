@@ -1,0 +1,98 @@
+// Scheduling, execution and merge layers of the campaign engine.
+//
+//   plan      (core/plan)   enumerate shards, no machine involved
+//   schedule  (this file)   MachinePool + work-stealing ShardQueue +
+//                           std::thread workers; jobs = 1 degenerates to the
+//                           exact legacy sequential order
+//   execute   (this file)   run_shard mirrors the legacy single-machine loop
+//                           (crash blame, reboot bookkeeping, repro pass) on
+//                           one pooled machine
+//   merge     (this file)   fold per-shard MutStats back into a
+//                           CampaignResult in plan order
+//
+// Determinism contract: for the same (variant, registry, cap, seed), the
+// merged CampaignResult is bit-identical for any worker count, and identical
+// to Campaign::run_sequential, because every shard boundary the plan emits is
+// a provably clean machine state (see core/plan.h) and the merge order is
+// fixed by the plan, not by thread timing.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/plan.h"
+#include "sim/machine.h"
+
+namespace ballista::core {
+
+/// What one worker produced from one shard.  Partial MutStats are folded
+/// back into the CampaignResult by merge_outcomes.
+struct ShardOutcome {
+  struct MutPartial {
+    std::size_t mut_index = 0;
+    std::uint64_t range_first = 0;
+    MutStats stats;
+  };
+  std::size_t shard_index = 0;
+  /// One entry per ShardItem, in shard order (crash blame may retarget an
+  /// earlier partial of the same shard, exactly like the sequential loop).
+  std::vector<MutPartial> partials;
+  int reboots = 0;
+  std::uint64_t executed_cases = 0;
+};
+
+/// Executes one shard.  Precondition: `machine` is in freshly-booted state
+/// (MachinePool::checkout provides that).  Applies opt.machine_setup when
+/// set — the plan guarantees such campaigns are single-shard.
+ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
+                       const CampaignOptions& opt);
+
+/// Independent sim::Machine instances, one per worker.  Machines are built
+/// lazily and reset to pristine boot state on every checkout, so a pooled
+/// machine is indistinguishable from a freshly constructed one.
+class MachinePool {
+ public:
+  MachinePool(sim::OsVariant variant, unsigned workers);
+
+  /// The worker's machine, reset via sim::Machine::reset().
+  sim::Machine& checkout(unsigned worker);
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(machines_.size());
+  }
+
+ private:
+  sim::OsVariant variant_;
+  std::vector<std::unique_ptr<sim::Machine>> machines_;
+};
+
+/// Work-stealing shard queue: shards are dealt round-robin to per-worker
+/// deques (worker 0 with jobs=1 sees exact plan order); a worker that drains
+/// its own deque steals from the back of the richest victim.  Scheduling
+/// order never affects results — outcomes are merged by shard index.
+class ShardQueue {
+ public:
+  ShardQueue(const Plan& plan, unsigned workers);
+
+  /// Next shard for `worker`, or nullptr when all work is done.
+  const Shard* next(unsigned worker);
+
+ private:
+  std::mutex mu_;
+  std::vector<std::deque<const Shard*>> queues_;
+};
+
+/// Merge layer: folds shard outcomes (indexed by shard) back into a
+/// CampaignResult whose stats follow plan.muts order.
+CampaignResult merge_outcomes(const Plan& plan,
+                              std::vector<ShardOutcome> outcomes);
+
+/// The full engine: plan -> schedule/execute -> merge.  Campaign::run is a
+/// thin façade over this.
+CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
+                          const CampaignOptions& opt);
+
+}  // namespace ballista::core

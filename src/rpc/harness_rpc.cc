@@ -1,26 +1,16 @@
 #include "rpc/harness_rpc.h"
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
 
 #include "core/executor.h"
 #include "core/generator.h"
+#include "core/report.h"
 
 namespace ballista::rpc {
 
 namespace {
-
-core::CaseCode code_of(const core::CaseResult& r) {
-  switch (r.outcome) {
-    case core::Outcome::kAbort: return core::CaseCode::kAbort;
-    case core::Outcome::kRestart: return core::CaseCode::kRestart;
-    case core::Outcome::kCatastrophic: return core::CaseCode::kCatastrophic;
-    default: break;
-  }
-  if (r.wrong_error) return core::CaseCode::kHindering;
-  return r.success_no_error ? core::CaseCode::kPassNoError
-                            : core::CaseCode::kPassWithError;
-}
 
 void apply_code(core::MutStats& stats, core::CaseCode code,
                 bool any_exceptional) {
@@ -44,9 +34,8 @@ void apply_code(core::MutStats& stats, core::CaseCode code,
   }
 }
 
-bool tuple_has_exceptional(const core::MuT& mut, std::uint64_t cap,
-                           std::uint64_t seed, std::uint64_t index) {
-  core::TupleGenerator gen(mut, cap, seed);
+bool tuple_has_exceptional(const core::TupleGenerator& gen,
+                           std::uint64_t index) {
   for (const core::TestValue* v : gen.tuple(index))
     if (v->exceptional) return true;
   return false;
@@ -69,6 +58,40 @@ bool TestClient::poll() {
   const auto msg = decode(*frame);
   if (!msg) return true;  // malformed frames are dropped
   if (msg->type == MessageType::kShutdown) return false;
+
+  if (msg->type == MessageType::kShardRequest) {
+    const ShardRequest& req = msg->shard_request;
+    Message reply;
+    reply.type = MessageType::kShardResult;
+    reply.shard_result.mut_name = req.mut_name;
+    reply.shard_result.first = req.first;
+
+    const core::MuT* mut = registry_.find(req.mut_name);
+    if (mut == nullptr) {
+      reply.shard_result.detail = "unknown MuT";
+      endpoint_.send(encode(reply));
+      return true;
+    }
+    core::TupleGenerator gen(*mut, cap_, seed_);
+    core::Executor executor(*machine_);
+    for (std::uint64_t k = 0; k < req.count; ++k) {
+      const auto tuple = gen.tuple(req.first + k);
+      const core::CaseResult r = executor.run_case(*mut, tuple);
+      reply.shard_result.codes.push_back(core::case_code(r));
+      if (machine_->crashed()) {
+        // The crash report travels in-band: the truncated code vector ends
+        // at the Catastrophic case, so the server needs no separate notice.
+        reply.shard_result.crashed = true;
+        reply.shard_result.detail = r.detail;
+        machine_->reboot();
+        ++reboots_;
+        break;
+      }
+    }
+    endpoint_.send(encode(reply));
+    return true;
+  }
+
   if (msg->type != MessageType::kTestRequest) return true;
 
   const core::MuT* mut = registry_.find(msg->request.mut_name);
@@ -88,7 +111,7 @@ bool TestClient::poll() {
   core::Executor executor(*machine_);
   const core::CaseResult r = executor.run_case(*mut, tuple);
   core::CaseResult normalized = r;
-  reply.result.code = code_of(normalized);
+  reply.result.code = core::case_code(normalized);
   reply.result.detail = r.detail;
   endpoint_.send(encode(reply));
 
@@ -107,8 +130,13 @@ bool TestClient::poll() {
 }
 
 TestServer::TestServer(Endpoint& endpoint, const core::Registry& registry,
-                       std::uint64_t cap, std::uint64_t seed)
-    : endpoint_(endpoint), registry_(registry), cap_(cap), seed_(seed) {}
+                       std::uint64_t cap, std::uint64_t seed,
+                       std::uint64_t shard_cases)
+    : endpoint_(endpoint),
+      registry_(registry),
+      cap_(cap),
+      seed_(seed),
+      shard_cases_(std::max<std::uint64_t>(shard_cases, 1)) {}
 
 core::CampaignResult TestServer::run(sim::OsVariant variant,
                                      const std::function<void()>& pump) {
@@ -143,23 +171,38 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
     stats.mut = mut;
     core::TupleGenerator gen(*mut, cap_, seed_);
     stats.planned = gen.count();
-    for (std::uint64_t i = 0; i < gen.count(); ++i) {
-      const auto res = run_case(*mut, i);
-      if (!res) throw std::runtime_error("client stopped responding");
-      ++result.total_cases;
-      const bool exceptional = tuple_has_exceptional(*mut, cap_, seed_, i);
-      apply_code(stats, res->code, exceptional);
-      if (res->code == core::CaseCode::kCatastrophic) {
+    // Ship case ranges instead of single cases: one round-trip amortizes
+    // over up to shard_cases_ executions (the plan layer's CaseRange shape).
+    bool interrupted = false;
+    for (std::uint64_t first = 0; first < gen.count() && !interrupted;
+         first += shard_cases_) {
+      const std::uint64_t count =
+          std::min<std::uint64_t>(shard_cases_, gen.count() - first);
+      Message req;
+      req.type = MessageType::kShardRequest;
+      req.shard_request = {mut->name, first, count};
+      endpoint_.send(encode(req));
+      const auto reply = await(MessageType::kShardResult);
+      if (!reply) throw std::runtime_error("client stopped responding");
+      const ShardResult& sr = reply->shard_result;
+      for (std::size_t k = 0; k < sr.codes.size(); ++k) {
+        ++result.total_cases;
+        apply_code(stats, sr.codes[k], tuple_has_exceptional(gen, first + k));
+      }
+      if (sr.crashed) {
+        // The truncated code vector ends at the Catastrophic case.
+        const std::uint64_t crash_index = first + sr.codes.size() - 1;
         stats.catastrophic = true;
-        stats.crash_case = static_cast<std::int64_t>(i);
-        stats.crash_detail = res->detail;
-        ++result.reboots;  // the client reboots and notifies
-        // Single-test reproduction over the wire.
-        const auto again = run_case(*mut, i);
+        stats.crash_case = static_cast<std::int64_t>(crash_index);
+        stats.crash_detail = sr.detail;
+        stats.crash_tuple = core::describe_tuple(gen.tuple(crash_index));
+        ++result.reboots;  // the client rebooted before replying
+        // Single-test reproduction over the wire (one-case request).
+        const auto again = run_case(*mut, crash_index);
         stats.crash_reproducible_single =
             again && again->code == core::CaseCode::kCatastrophic;
         if (stats.crash_reproducible_single) ++result.reboots;
-        break;  // this MuT's test set is incomplete
+        interrupted = true;  // this MuT's test set is incomplete
       }
     }
     result.stats.push_back(std::move(stats));
@@ -202,7 +245,7 @@ bool CeFileDropClient::execute(const TestRequest& request) {
   }
   const std::string line =
       request.mut_name + " " + std::to_string(request.case_index) + " " +
-      std::to_string(static_cast<int>(code_of(r)));
+      std::to_string(static_cast<int>(core::case_code(r)));
   node->data().assign(line.begin(), line.end());
   return true;
 }
@@ -260,7 +303,7 @@ core::CampaignResult run_ce_file_drop_campaign(const core::Registry& registry,
       }
       const auto code = read_result_file();
       if (!code) continue;  // lost result: skip (kept visible in planned)
-      const bool exceptional = tuple_has_exceptional(*mut, cap, seed, i);
+      const bool exceptional = tuple_has_exceptional(gen, i);
       apply_code(stats, *code, exceptional);
     }
     result.stats.push_back(std::move(stats));

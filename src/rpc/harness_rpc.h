@@ -66,9 +66,12 @@ class CeFileDropClient {
 /// per-MuT statistics an in-process Campaign::run produces.
 class TestServer {
  public:
+  /// `shard_cases` is the case-range size shipped per kShardRequest: the
+  /// server serves shards (one round-trip per range, per-case codes coming
+  /// back in one kShardResult frame) instead of one request per case.
   TestServer(Endpoint& endpoint, const core::Registry& registry,
              std::uint64_t cap = core::kDefaultCap,
-             std::uint64_t seed = 0x8a11157a);
+             std::uint64_t seed = 0x8a11157a, std::uint64_t shard_cases = 256);
 
   /// Runs the full campaign against a polling client.  `pump` is invoked
   /// whenever the server is waiting so the caller can run client polls
@@ -81,6 +84,7 @@ class TestServer {
   const core::Registry& registry_;
   std::uint64_t cap_;
   std::uint64_t seed_;
+  std::uint64_t shard_cases_;
 };
 
 /// The NT-side host loop for the CE arrangement: generates cases, asks the

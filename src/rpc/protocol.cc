@@ -55,6 +55,20 @@ std::vector<std::uint8_t> encode(const Message& m) {
       out.push_back(static_cast<std::uint8_t>(m.result.code));
       put_str(out, m.result.detail);
       break;
+    case MessageType::kShardRequest:
+      put_str(out, m.shard_request.mut_name);
+      put_u64(out, m.shard_request.first);
+      put_u64(out, m.shard_request.count);
+      break;
+    case MessageType::kShardResult:
+      put_str(out, m.shard_result.mut_name);
+      put_u64(out, m.shard_result.first);
+      put_u64(out, m.shard_result.codes.size());
+      for (core::CaseCode c : m.shard_result.codes)
+        out.push_back(static_cast<std::uint8_t>(c));
+      out.push_back(m.shard_result.crashed ? 1 : 0);
+      put_str(out, m.shard_result.detail);
+      break;
     case MessageType::kShutdown:
       break;
   }
@@ -69,6 +83,8 @@ std::optional<Message> decode(const std::vector<std::uint8_t>& frame) {
     case 2: m.type = MessageType::kTestResult; break;
     case 3: m.type = MessageType::kRebootNotice; break;
     case 4: m.type = MessageType::kShutdown; break;
+    case 5: m.type = MessageType::kShardRequest; break;
+    case 6: m.type = MessageType::kShardResult; break;
     default: return std::nullopt;
   }
   Reader r{frame, 1};
@@ -77,6 +93,33 @@ std::optional<Message> decode(const std::vector<std::uint8_t>& frame) {
     auto idx = r.u64();
     if (!name || !idx) return std::nullopt;
     m.request = {std::move(*name), *idx};
+  } else if (m.type == MessageType::kShardRequest) {
+    auto name = r.str();
+    auto first = r.u64();
+    auto count = r.u64();
+    if (!name || !first || !count) return std::nullopt;
+    m.shard_request = {std::move(*name), *first, *count};
+  } else if (m.type == MessageType::kShardResult) {
+    auto name = r.str();
+    auto first = r.u64();
+    auto ncodes = r.u64();
+    if (!name || !first || !ncodes || *ncodes > (1u << 20) ||
+        r.pos + *ncodes + 1 > frame.size())
+      return std::nullopt;
+    std::vector<core::CaseCode> codes;
+    codes.reserve(static_cast<std::size_t>(*ncodes));
+    for (std::uint64_t i = 0; i < *ncodes; ++i) {
+      const std::uint8_t c = frame[r.pos++];
+      if (c > static_cast<std::uint8_t>(core::CaseCode::kHindering))
+        return std::nullopt;
+      codes.push_back(static_cast<core::CaseCode>(c));
+    }
+    const std::uint8_t crashed = frame[r.pos++];
+    if (crashed > 1) return std::nullopt;  // must re-encode byte-exactly
+    auto detail = r.str();
+    if (!detail) return std::nullopt;
+    m.shard_result = {std::move(*name), *first, std::move(codes),
+                      crashed == 1, std::move(*detail)};
   } else if (m.type != MessageType::kShutdown) {
     auto name = r.str();
     auto idx = r.u64();

@@ -23,6 +23,8 @@ enum class MessageType : std::uint8_t {
   kTestResult = 2,    // client -> server: outcome of one case
   kRebootNotice = 3,  // client -> server: machine went down, rebooted
   kShutdown = 4,      // server -> client: campaign over
+  kShardRequest = 5,  // server -> client: run cases [first, first+count) of X
+  kShardResult = 6,   // client -> server: per-case codes for (part of) a shard
 };
 
 struct TestRequest {
@@ -37,10 +39,32 @@ struct TestResult {
   std::string detail;
 };
 
+/// One planned case range (core/plan CaseRange) shipped as a unit: the split
+/// harness amortizes a round-trip over `count` cases instead of one per case.
+struct ShardRequest {
+  std::string mut_name;
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+};
+
+/// Per-case codes for the executed prefix of a shard request.  When the
+/// machine went down mid-range, `crashed` is set, `codes` covers only the
+/// cases that ran (the last one being the Catastrophic case) and `detail`
+/// carries the crash reason; the client reboots before its next poll.
+struct ShardResult {
+  std::string mut_name;
+  std::uint64_t first = 0;
+  std::vector<core::CaseCode> codes;
+  bool crashed = false;
+  std::string detail;
+};
+
 struct Message {
   MessageType type = MessageType::kShutdown;
   TestRequest request;  // valid when type == kTestRequest
   TestResult result;    // valid when type == kTestResult / kRebootNotice
+  ShardRequest shard_request;  // valid when type == kShardRequest
+  ShardResult shard_result;    // valid when type == kShardResult
 };
 
 /// Length-framed little-endian encoding.

@@ -156,7 +156,15 @@ bool FileSystem::rename(const ParsedPath& from, const ParsedPath& to) {
 }
 
 void FileSystem::reset_fixture() {
+  // Restore the root node's own metadata too: chmod("/", ...) or
+  // SetFileAttributes on the root must not outlive the fixture reset, or the
+  // "known disk image" each test case starts from would depend on what ran
+  // before it (and campaign results would depend on shard scheduling).
   root_->children().clear();
+  root_->read_only = false;
+  root_->hidden = false;
+  root_->times = FileTimes{};
+  root_->nlink = 1;
   ParsedPath scratch;
   scratch.components = {"tmp"};
   create_dir(scratch);

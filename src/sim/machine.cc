@@ -69,4 +69,11 @@ void Machine::reboot() {
   fs_.reset_fixture();
 }
 
+void Machine::reset() {
+  reboot();
+  ticks_ = kBootTicks;
+  next_pid_ = kFirstPid;
+  panic_count_ = 0;
+}
+
 }  // namespace ballista::sim

@@ -56,6 +56,12 @@ class Machine {
   /// Clears the crash, the arena, the fuse and restores the disk fixture.
   void reboot();
 
+  /// Restores pristine post-construction boot state: reboot() plus the tick
+  /// counter, pid counter and panic count.  A reset machine is
+  /// indistinguishable from a freshly constructed one; the campaign engine's
+  /// MachinePool uses this to reuse machines across shards.
+  void reset();
+
   /// Pre-ages the machine for load testing (paper §5 future work; cf. the
   /// intro's observation that Windows machines needed periodic reboots):
   /// the shared arena already carries accumulated wear, and the machine will
@@ -67,8 +73,11 @@ class Machine {
   Personality pers_;
   SharedArena arena_;
   FileSystem fs_;
-  std::uint64_t ticks_ = 1'000'000;
-  std::uint64_t next_pid_ = 100;
+  static constexpr std::uint64_t kBootTicks = 1'000'000;
+  static constexpr std::uint64_t kFirstPid = 100;
+
+  std::uint64_t ticks_ = kBootTicks;
+  std::uint64_t next_pid_ = kFirstPid;
   bool crashed_ = false;
   std::string crash_reason_;
   int panic_count_ = 0;

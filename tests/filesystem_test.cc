@@ -103,6 +103,18 @@ TEST_F(FsTest, ResetFixtureRestoresCanonicalTree) {
   EXPECT_FALSE(fs.resolve(p("/tmp/fixture.dat"))->data().empty());
 }
 
+TEST_F(FsTest, ResetFixtureRestoresRootMetadata) {
+  // chmod("/", 0555)-style damage must not outlive the fixture reset: the
+  // root node object persists across resets, so a leaked read_only flag
+  // would make later test cases (access, create) depend on what ran before
+  // them — and campaign results depend on shard scheduling.
+  fs.root()->read_only = true;
+  fs.root()->hidden = true;
+  fs.reset_fixture();
+  EXPECT_FALSE(fs.root()->read_only);
+  EXPECT_FALSE(fs.root()->hidden);
+}
+
 TEST_F(FsTest, UnlinkedNodeSurvivesThroughSharedPtr) {
   auto node = fs.resolve(p("/tmp/fixture.dat"));
   ASSERT_TRUE(fs.remove_file(p("/tmp/fixture.dat")));

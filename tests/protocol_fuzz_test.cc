@@ -22,7 +22,7 @@ TEST_P(ProtocolFuzz, DecodeNeverCrashesAndRoundTripsWhenItAccepts) {
     // Bias some frames toward valid-looking types so the accept path is
     // exercised too.
     if (!frame.empty() && iter % 3 == 0)
-      frame[0] = static_cast<std::uint8_t>(1 + rng.next_below(4));
+      frame[0] = static_cast<std::uint8_t>(1 + rng.next_below(6));
     const auto msg = decode(frame);
     if (msg.has_value()) {
       EXPECT_EQ(encode(*msg), frame)
@@ -37,6 +37,28 @@ TEST_P(ProtocolFuzz, TruncationsOfValidFramesAreRejectedOrConsistent) {
   m.type = MessageType::kTestResult;
   m.result = {"GetThreadContext", rng.next_below(10000),
               core::CaseCode::kAbort, "detail text"};
+  const Frame full = encode(m);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const Frame truncated(full.begin(),
+                          full.begin() + static_cast<std::ptrdiff_t>(cut));
+    const auto msg = decode(truncated);
+    if (msg.has_value()) {
+      EXPECT_EQ(encode(*msg), truncated);
+    }
+  }
+}
+
+TEST_P(ProtocolFuzz, TruncationsOfShardResultFramesAreRejectedOrConsistent) {
+  SplitMix64 rng(GetParam() ^ 0x5a5a5a);
+  Message m;
+  m.type = MessageType::kShardResult;
+  m.shard_result.mut_name = "strncpy";
+  m.shard_result.first = rng.next_below(10000);
+  for (int i = 0; i < 9; ++i)
+    m.shard_result.codes.push_back(
+        static_cast<core::CaseCode>(rng.next_below(6)));
+  m.shard_result.crashed = true;
+  m.shard_result.detail = "delayed failure from corrupted shared arena";
   const Frame full = encode(m);
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
     const Frame truncated(full.begin(),

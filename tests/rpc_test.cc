@@ -35,6 +35,53 @@ TEST(Protocol, ResultRoundTrip) {
   EXPECT_EQ(decoded->result.detail, "ACCESS_VIOLATION reading 0x0");
 }
 
+TEST(Protocol, ShardRequestRoundTrip) {
+  Message m;
+  m.type = MessageType::kShardRequest;
+  m.shard_request = {"VirtualAlloc", 128, 64};
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MessageType::kShardRequest);
+  EXPECT_EQ(decoded->shard_request.mut_name, "VirtualAlloc");
+  EXPECT_EQ(decoded->shard_request.first, 128u);
+  EXPECT_EQ(decoded->shard_request.count, 64u);
+}
+
+TEST(Protocol, ShardResultRoundTrip) {
+  Message m;
+  m.type = MessageType::kShardResult;
+  m.shard_result = {"fclose",
+                    7,
+                    {CaseCode::kPassWithError, CaseCode::kAbort,
+                     CaseCode::kCatastrophic},
+                    true,
+                    "page fault in kernel context"};
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MessageType::kShardResult);
+  EXPECT_EQ(decoded->shard_result.mut_name, "fclose");
+  EXPECT_EQ(decoded->shard_result.first, 7u);
+  EXPECT_EQ(decoded->shard_result.codes.size(), 3u);
+  EXPECT_EQ(decoded->shard_result.codes[2], CaseCode::kCatastrophic);
+  EXPECT_TRUE(decoded->shard_result.crashed);
+  EXPECT_EQ(decoded->shard_result.detail, "page fault in kernel context");
+}
+
+TEST(Protocol, ShardResultRejectsBadCrashedByteAndBadCodes) {
+  Message m;
+  m.type = MessageType::kShardResult;
+  m.shard_result = {"x", 0, {CaseCode::kPassWithError}, false, ""};
+  Frame enc = encode(m);
+  // Layout: type(1) + name(8+1) + first(8) + ncodes(8) + codes(1) + crashed.
+  const std::size_t code_at = 1 + 8 + 1 + 8 + 8;
+  Frame bad_code = enc;
+  bad_code[code_at] = 200;
+  EXPECT_FALSE(decode(bad_code).has_value());
+  Frame bad_crashed = enc;
+  bad_crashed[code_at + 1] = 2;  // would not re-encode byte-exactly
+  EXPECT_FALSE(decode(bad_crashed).has_value());
+}
+
 TEST(Protocol, ShutdownRoundTrip) {
   Message m;
   m.type = MessageType::kShutdown;

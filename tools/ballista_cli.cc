@@ -43,6 +43,7 @@ struct Args {
   std::uint64_t case_index = 0;
   std::string mut_csv, value_csv;
   bool analyze = false;
+  unsigned jobs = 1;
   bool ok = true;
 };
 
@@ -79,6 +80,9 @@ Args parse_args(int argc, char** argv) {
       a.value_csv = next();
     } else if (flag == "--analyze") {
       a.analyze = true;
+    } else if (flag == "--jobs") {
+      a.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+      if (a.jobs == 0) a.ok = false;
     } else if (flag == "--api") {
       const std::string v = next();
       if (v == "sys")
@@ -99,12 +103,14 @@ int usage() {
       "usage: ballista_cli <command> [flags]\n"
       "  list-muts [--os NAME] [--api sys|clib]   catalog of modules under test\n"
       "  list-types                               data types and value pools\n"
-      "  run [--os NAME] [--cap N] [--seed S] [--api sys|clib]\n"
+      "  run [--os NAME] [--cap N] [--seed S] [--api sys|clib] [--jobs N]\n"
       "      [--mut-csv F] [--value-csv F] [--analyze]\n"
       "  repro --os NAME --mut NAME --case I      single-test reproduction\n"
-      "  crashes [--os NAME] [--cap N]            Catastrophic function lists\n"
-      "  tables [--cap N]                         all paper tables and figures\n"
-      "OS names: win95 win98 win98se nt4 win2000 wince linux\n";
+      "  crashes [--os NAME] [--cap N] [--jobs N] Catastrophic function lists\n"
+      "  tables [--cap N] [--jobs N]              all paper tables and figures\n"
+      "OS names: win95 win98 win98se nt4 win2000 wince linux\n"
+      "--jobs N runs each campaign on N worker machines; results are\n"
+      "identical for every N (deterministic sharded engine).\n";
   return 2;
 }
 
@@ -160,6 +166,7 @@ int cmd_run(const harness::World& world, const Args& a) {
     core::CampaignOptions opt;
     opt.cap = a.cap;
     opt.seed = a.seed;
+    opt.jobs = a.jobs;
     if (a.api)
       opt.only_api =
           *a.api == core::ApiKind::kWin32Sys ? sys_kind_for(v) : *a.api;
@@ -206,10 +213,8 @@ int cmd_repro(const harness::World& world, const Args& a) {
     return 1;
   }
   const auto tuple = gen.tuple(a.case_index);
-  std::cout << a.mut << " case " << a.case_index << " = (";
-  for (std::size_t i = 0; i < tuple.size(); ++i)
-    std::cout << (i ? ", " : "") << tuple[i]->name;
-  std::cout << ")\n";
+  std::cout << a.mut << " case " << a.case_index << " = "
+            << core::describe_tuple(tuple) << "\n";
 
   sim::Machine machine(*a.os);
   core::Executor executor(machine);
@@ -228,6 +233,7 @@ int cmd_crashes(const harness::World& world, const Args& a) {
     core::CampaignOptions opt;
     opt.cap = a.cap;
     opt.seed = a.seed;
+    opt.jobs = a.jobs;
     results.push_back(core::Campaign::run(v, world.registry, opt));
   }
   core::print_table3(std::cout, results);
@@ -238,6 +244,7 @@ int cmd_tables(const harness::World& world, const Args& a) {
   core::CampaignOptions opt;
   opt.cap = a.cap;
   opt.seed = a.seed;
+  opt.jobs = a.jobs;
   auto results = harness::run_all_variants(world, opt);
   core::print_table1(std::cout, results);
   std::cout << "\n";
