@@ -32,10 +32,10 @@ bool same_result(const core::CampaignResult& a, const core::CampaignResult& b) {
         x.crash_case != y.crash_case || x.crash_detail != y.crash_detail ||
         x.crash_tuple != y.crash_tuple ||
         x.crash_reproducible_single != y.crash_reproducible_single ||
-        x.case_codes != y.case_codes)
+        x.case_codes != y.case_codes || x.event_counts != y.event_counts)
       return false;
   }
-  return true;
+  return a.event_counters == b.event_counters;
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "core/generator.h"
 #include "core/registry.h"
 #include "core/report.h"
+#include "core/trace.h"
 #include "core/typelib.h"
 #include "core/voting.h"
 #include "sim/machine.h"

@@ -38,9 +38,11 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
 
     for (std::uint64_t i = 0; i < gen.count(); ++i) {
       const auto tuple = gen.tuple(i);
-      const CaseResult r = executor.run_case(*mut, tuple);
+      const CaseResult r =
+          executor.run_case(*mut, tuple, static_cast<std::int64_t>(i));
       ++stats.executed;
       ++result.total_cases;
+      stats.event_counts += r.events;
       if (opt.record_cases) stats.case_codes.push_back(case_code(r));
 
       if (machine.arena().corruption() > corruption_seen) {
@@ -66,8 +68,7 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
         case Outcome::kCatastrophic: {
           // Blame the arena corruptor for deferred panics; the immediate
           // crash is the current MuT's own.
-          const bool deferred =
-              r.detail.find("delayed") != std::string::npos;
+          const bool deferred = r.panic == sim::PanicKind::kDeferredFuse;
           MutStats* blamed = &stats;
           if (deferred && last_corruptor >= 0 && last_corruptor != self)
             blamed = &result.stats[static_cast<std::size_t>(last_corruptor)];
@@ -75,6 +76,7 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
           if (!blamed->catastrophic) {
             blamed->catastrophic = true;
             blamed->crash_detail = r.detail;
+            blamed->crash_trace = r.trace_tail;
             if (blamed == &stats) {
               blamed->crash_case = static_cast<std::int64_t>(i);
               blamed->crash_tuple = describe_tuple(tuple);
@@ -91,7 +93,8 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
             // case alone on the rebooted machine.  Immediate-style crashes
             // reproduce; interference-style ones do not (`*`).
             if (opt.repro_pass) {
-              const CaseResult rerun = executor.run_case(*mut, tuple);
+              const CaseResult rerun = executor.run_case(
+                  *mut, tuple, static_cast<std::int64_t>(i));
               stats.crash_reproducible_single =
                   rerun.outcome == Outcome::kCatastrophic;
               if (machine.crashed()) {
@@ -114,6 +117,7 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
     }
     result.stats.push_back(std::move(stats));
   }
+  for (const MutStats& s : result.stats) result.event_counters += s.event_counts;
   return result;
 }
 

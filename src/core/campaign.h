@@ -14,13 +14,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/executor.h"
 #include "core/generator.h"
 #include "core/registry.h"
+#include "core/trace.h"
 
 namespace ballista::core {
 
@@ -73,6 +76,15 @@ struct MutStats {
 
   std::vector<CaseCode> case_codes;
 
+  /// Per-event-kind totals over this MuT's executed cases (repro-pass reruns
+  /// excluded).  Summed from per-case deltas, so identical across worker
+  /// counts and vs. the sequential reference loop.
+  trace::Counters event_counts;
+  /// Event tail captured when this MuT was blamed for a Catastrophic failure
+  /// (for a deferred `*` crash the tail spans the victim cases' syscall
+  /// entries back to this MuT's corrupting hazard write).
+  std::vector<trace::TraceEvent> crash_trace;
+
   double abort_rate() const noexcept {
     return executed == 0 ? 0.0 : static_cast<double>(aborts) / executed;
   }
@@ -120,6 +132,8 @@ struct CampaignResult {
   std::vector<MutStats> stats;
   int reboots = 0;
   std::uint64_t total_cases = 0;
+  /// Aggregate per-event-kind counters, folded from stats in plan order.
+  trace::Counters event_counters;
 
   const MutStats* find(std::string_view name) const noexcept {
     for (const auto& s : stats)

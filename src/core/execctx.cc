@@ -14,6 +14,12 @@ double CallContext::argf(std::size_t i) const noexcept {
   return std::bit_cast<double>(args_[i]);
 }
 
+void CallContext::emit_probe(trace::ProbeResult r, sim::Addr a,
+                             std::size_t size, bool is_write) {
+  machine_.trace().emit(trace::probe_event(
+      r, a, static_cast<std::uint32_t>(size), is_write));
+}
+
 bool CallContext::stub_rejects(sim::Addr a) const noexcept {
   // The Win9x user-mode stubs caught only the obvious garbage: null-ish
   // pointers in the first 64K and anything pointing at kernel space.
@@ -42,6 +48,8 @@ MemStatus CallContext::hazard_write(sim::Addr a,
     // style hazards die on the spot (panic throws); deferred-style arm the
     // fuse and let this call return success.
     mem.write_bytes(a, in, sim::Access::kKernel);
+    machine_.trace().emit(trace::hazard_write_event(
+        a, static_cast<std::uint32_t>(in.size()), /*staging=*/false));
     machine_.note_arena_corruption(a, hazard_ == CrashStyle::kImmediate);
     return MemStatus::kOk;
   }
@@ -50,7 +58,7 @@ MemStatus CallContext::hazard_write(sim::Addr a,
       mem.write_bytes(a, in, sim::Access::kKernel);
       return MemStatus::kOk;
     } catch (const sim::SimFault&) {
-      machine_.panic("page fault in kernel context (unprobed user pointer)");
+      machine_.panic(sim::PanicKind::kKernelPageFault);
     }
   }
   // Deferred-style hazard: the fast path stages the transfer through a
@@ -74,6 +82,8 @@ void CallContext::corrupt_staging_area() {
                                  0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef,
                                  0xde, 0xad, 0xbe, 0xef};
   mem.write_bytes(kStaging, junk, sim::Access::kKernel);
+  machine_.trace().emit(
+      trace::hazard_write_event(kStaging, sizeof junk, /*staging=*/true));
   machine_.note_arena_corruption(kStaging, /*critical=*/false);
 }
 
@@ -89,7 +99,7 @@ MemStatus CallContext::hazard_read(sim::Addr a, std::span<std::uint8_t> out) {
       mem.read_bytes(a, out, sim::Access::kKernel);
       return MemStatus::kOk;
     } catch (const sim::SimFault&) {
-      machine_.panic("page fault in kernel context (unprobed user pointer)");
+      machine_.panic(sim::PanicKind::kKernelPageFault);
     }
   }
   if (!mem.check_range(a, out.size(), /*write=*/false, sim::Access::kKernel)) {
@@ -105,12 +115,18 @@ MemStatus CallContext::hazard_read(sim::Addr a, std::span<std::uint8_t> out) {
 
 MemStatus CallContext::k_write(sim::Addr a, std::span<const std::uint8_t> in) {
   auto& mem = proc_.mem();
-  if (hazard_ != CrashStyle::kNone) return hazard_write(a, in);
+  if (hazard_ != CrashStyle::kNone) {
+    emit_probe(trace::ProbeResult::kUnprobed, a, in.size(), true);
+    return hazard_write(a, in);
+  }
 
   switch (os().pointer_policy) {
     case sim::PointerPolicy::kProbeReturnError:
-      if (!mem.check_range(a, in.size(), true, sim::Access::kUser))
+      if (!mem.check_range(a, in.size(), true, sim::Access::kUser)) {
+        emit_probe(trace::ProbeResult::kRejected, a, in.size(), true);
         return MemStatus::kError;
+      }
+      emit_probe(trace::ProbeResult::kOk, a, in.size(), true);
       mem.write_bytes(a, in, sim::Access::kKernel);
       return MemStatus::kOk;
 
@@ -118,13 +134,18 @@ MemStatus CallContext::k_write(sim::Addr a, std::span<const std::uint8_t> in) {
       // NT/2000: the probe failure surfaces as an access-violation exception
       // raised into the calling task — write through user-mode rules so the
       // fault carries the faulting address.
+      emit_probe(trace::ProbeResult::kGuarded, a, in.size(), true);
       mem.write_bytes(a, in, sim::Access::kUser);
       return MemStatus::kOk;
 
     case sim::PointerPolicy::kStubCheckLoose:
-      if (stub_rejects(a)) return MemStatus::kSilent;
+      if (stub_rejects(a)) {
+        emit_probe(trace::ProbeResult::kStubSilent, a, in.size(), true);
+        return MemStatus::kSilent;
+      }
       // Subtler garbage (dangling, read-only, guard pages) is dereferenced in
       // user mode and faults there: an Abort, not a crash.
+      emit_probe(trace::ProbeResult::kOk, a, in.size(), true);
       mem.write_bytes(a, in, sim::Access::kUser);
       return MemStatus::kOk;
   }
@@ -133,21 +154,32 @@ MemStatus CallContext::k_write(sim::Addr a, std::span<const std::uint8_t> in) {
 
 MemStatus CallContext::k_read(sim::Addr a, std::span<std::uint8_t> out) {
   auto& mem = proc_.mem();
-  if (hazard_ != CrashStyle::kNone) return hazard_read(a, out);
+  if (hazard_ != CrashStyle::kNone) {
+    emit_probe(trace::ProbeResult::kUnprobed, a, out.size(), false);
+    return hazard_read(a, out);
+  }
 
   switch (os().pointer_policy) {
     case sim::PointerPolicy::kProbeReturnError:
-      if (!mem.check_range(a, out.size(), false, sim::Access::kUser))
+      if (!mem.check_range(a, out.size(), false, sim::Access::kUser)) {
+        emit_probe(trace::ProbeResult::kRejected, a, out.size(), false);
         return MemStatus::kError;
+      }
+      emit_probe(trace::ProbeResult::kOk, a, out.size(), false);
       mem.read_bytes(a, out, sim::Access::kKernel);
       return MemStatus::kOk;
 
     case sim::PointerPolicy::kProbeRaiseException:
+      emit_probe(trace::ProbeResult::kGuarded, a, out.size(), false);
       mem.read_bytes(a, out, sim::Access::kUser);
       return MemStatus::kOk;
 
     case sim::PointerPolicy::kStubCheckLoose:
-      if (stub_rejects(a)) return MemStatus::kSilent;
+      if (stub_rejects(a)) {
+        emit_probe(trace::ProbeResult::kStubSilent, a, out.size(), false);
+        return MemStatus::kSilent;
+      }
+      emit_probe(trace::ProbeResult::kOk, a, out.size(), false);
       mem.read_bytes(a, out, sim::Access::kUser);
       return MemStatus::kOk;
   }
@@ -159,6 +191,7 @@ MemStatus CallContext::k_read_str(sim::Addr a, std::string* out,
   auto& mem = proc_.mem();
   if (hazard_ != CrashStyle::kNone) {
     // Hazardous string reads: byte-wise kernel walk.
+    emit_probe(trace::ProbeResult::kUnprobed, a, 0, false);
     out->clear();
     for (std::size_t i = 0; i < max_len; ++i) {
       std::uint8_t c = 0;
@@ -174,19 +207,30 @@ MemStatus CallContext::k_read_str(sim::Addr a, std::string* out,
     case sim::PointerPolicy::kProbeReturnError: {
       out->clear();
       for (std::size_t i = 0; i < max_len; ++i) {
-        if (!mem.check_range(a + i, 1, false, sim::Access::kUser))
+        if (!mem.check_range(a + i, 1, false, sim::Access::kUser)) {
+          emit_probe(trace::ProbeResult::kRejected, a + i, 1, false);
           return MemStatus::kError;
+        }
         const std::uint8_t c = mem.read_u8(a + i, sim::Access::kKernel);
-        if (c == 0) return MemStatus::kOk;
+        if (c == 0) {
+          emit_probe(trace::ProbeResult::kOk, a, i, false);
+          return MemStatus::kOk;
+        }
         out->push_back(static_cast<char>(c));
       }
+      emit_probe(trace::ProbeResult::kOk, a, max_len, false);
       return MemStatus::kOk;
     }
     case sim::PointerPolicy::kProbeRaiseException:
+      emit_probe(trace::ProbeResult::kGuarded, a, 0, false);
       *out = mem.read_cstr(a, max_len, sim::Access::kUser);
       return MemStatus::kOk;
     case sim::PointerPolicy::kStubCheckLoose:
-      if (stub_rejects(a)) return MemStatus::kSilent;
+      if (stub_rejects(a)) {
+        emit_probe(trace::ProbeResult::kStubSilent, a, 0, false);
+        return MemStatus::kSilent;
+      }
+      emit_probe(trace::ProbeResult::kOk, a, 0, false);
       *out = mem.read_cstr(a, max_len, sim::Access::kUser);
       return MemStatus::kOk;
   }
@@ -197,6 +241,7 @@ MemStatus CallContext::k_read_wstr(sim::Addr a, std::u16string* out,
                                    std::size_t max_len) {
   auto& mem = proc_.mem();
   if (hazard_ != CrashStyle::kNone) {
+    emit_probe(trace::ProbeResult::kUnprobed, a, 0, false);
     out->clear();
     for (std::size_t i = 0; i < max_len; ++i) {
       std::uint8_t b[2] = {0, 0};
@@ -212,20 +257,31 @@ MemStatus CallContext::k_read_wstr(sim::Addr a, std::u16string* out,
     case sim::PointerPolicy::kProbeReturnError: {
       out->clear();
       for (std::size_t i = 0; i < max_len; ++i) {
-        if (!mem.check_range(a + 2 * i, 2, false, sim::Access::kUser))
+        if (!mem.check_range(a + 2 * i, 2, false, sim::Access::kUser)) {
+          emit_probe(trace::ProbeResult::kRejected, a + 2 * i, 2, false);
           return MemStatus::kError;
+        }
         const char16_t c = static_cast<char16_t>(
             mem.read_u16(a + 2 * i, sim::Access::kKernel));
-        if (c == 0) return MemStatus::kOk;
+        if (c == 0) {
+          emit_probe(trace::ProbeResult::kOk, a, 2 * i, false);
+          return MemStatus::kOk;
+        }
         out->push_back(c);
       }
+      emit_probe(trace::ProbeResult::kOk, a, 2 * max_len, false);
       return MemStatus::kOk;
     }
     case sim::PointerPolicy::kProbeRaiseException:
+      emit_probe(trace::ProbeResult::kGuarded, a, 0, false);
       *out = mem.read_wstr(a, max_len, sim::Access::kUser);
       return MemStatus::kOk;
     case sim::PointerPolicy::kStubCheckLoose:
-      if (stub_rejects(a)) return MemStatus::kSilent;
+      if (stub_rejects(a)) {
+        emit_probe(trace::ProbeResult::kStubSilent, a, 0, false);
+        return MemStatus::kSilent;
+      }
+      emit_probe(trace::ProbeResult::kOk, a, 0, false);
       *out = mem.read_wstr(a, max_len, sim::Access::kUser);
       return MemStatus::kOk;
   }

@@ -86,6 +86,10 @@ class CallContext {
   CallOutcome posix_mem_fail(MemStatus s);
 
  private:
+  /// Records the validation layer's verdict on one API-level user-memory
+  /// access (exactly one kProbeDecision per k_read/k_write/k_read_*str call).
+  void emit_probe(trace::ProbeResult r, sim::Addr a, std::size_t size,
+                  bool is_write);
   /// The Win9x loose stub check: rejects only obvious garbage.
   bool stub_rejects(sim::Addr a) const noexcept;
   /// Windows CE slot addressing for kernel-context dereferences.

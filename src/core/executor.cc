@@ -3,11 +3,47 @@
 #include <cassert>
 
 namespace ballista::core {
+namespace {
+
+// Trims a raw ring tail down to the schedule-invariant causal window behind a
+// panic.  The ring spans the machine's whole recent history, which differs
+// between the sequential loop and a freshly checked-out shard machine; the
+// chain from the corrupting case (deferred fuse) or the dying case (immediate
+// panic) to the kPanic event is guaranteed identical across schedules by the
+// plan's corruption-stays-in-shard invariant, so only that window is kept.
+std::vector<trace::TraceEvent> causal_window(std::vector<trace::TraceEvent> tail,
+                                             sim::PanicKind why) {
+  if (tail.empty()) return tail;
+  std::size_t anchor = tail.size() - 1;  // the kPanic event
+  if (why == sim::PanicKind::kDeferredFuse) {
+    for (std::size_t k = tail.size(); k-- > 0;) {
+      if (tail[k].kind == trace::EventKind::kArenaCorruption) {
+        anchor = k;
+        break;
+      }
+    }
+  }
+  // Walk back to the anchor case's first kernel event (its kSyscallEnter).
+  const std::int64_t c = tail[anchor].case_index;
+  std::size_t start = anchor;
+  while (start > 0 && tail[start].kind != trace::EventKind::kSyscallEnter &&
+         tail[start - 1].case_index == c)
+    --start;
+  tail.erase(tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(start));
+  return tail;
+}
+
+}  // namespace
 
 CaseResult Executor::run_case(const MuT& mut,
-                              std::span<const TestValue* const> tuple) {
+                              std::span<const TestValue* const> tuple,
+                              std::int64_t case_index) {
   assert(!machine_.crashed());
   assert(tuple.size() == mut.params.size());
+
+  trace::TraceSink& sink = machine_.trace();
+  sink.set_case_index(case_index);
+  const trace::Counters before = sink.counters();
 
   CaseResult result;
   for (const TestValue* v : tuple)
@@ -33,6 +69,7 @@ CaseResult Executor::run_case(const MuT& mut,
   try {
     machine_.kernel_enter();
     const CallOutcome out = mut.impl(ctx);
+    sink.emit(trace::syscall_exit_event(out.status, out.ret));
     switch (out.status) {
       case CallStatus::kErrorReported:
         result.outcome = Outcome::kPass;
@@ -49,7 +86,10 @@ CaseResult Executor::run_case(const MuT& mut,
     }
   } catch (const sim::KernelPanic& p) {
     result.outcome = Outcome::kCatastrophic;
+    result.panic = p.kind();
     result.detail = p.what();
+    // The ring ends at the kPanic event: the causal chain behind the crash.
+    result.trace_tail = causal_window(sink.tail(), result.panic);
   } catch (const sim::TaskHang& h) {
     result.outcome = Outcome::kRestart;
     result.detail = h.what();
@@ -58,6 +98,11 @@ CaseResult Executor::run_case(const MuT& mut,
     result.fault = f.fault().type;
     result.detail = f.what();
   }
+  sink.emit(trace::classified_event(result.outcome, result.fault,
+                                    result.success_no_error,
+                                    result.wrong_error));
+  result.events = sink.counters() - before;
+  sink.set_case_index(-1);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/classify.h"
 #include "core/execctx.h"
 #include "core/registry.h"
+#include "core/trace.h"
 #include "sim/machine.h"
 
 namespace ballista::core {
@@ -22,7 +23,17 @@ struct CaseResult {
   bool wrong_error = false;       // Hindering candidate
   bool any_exceptional = false;   // tuple contained >= 1 exceptional value
   sim::FaultType fault = sim::FaultType::kAccessViolation;  // when kAbort
-  std::string detail;  // human-readable (crash reason / fault description)
+  sim::PanicKind panic = sim::PanicKind::kNone;             // when kCatastrophic
+  /// Rendered view (exception messages come from the shared describe_*
+  /// formatters; never assembled ad hoc here).
+  std::string detail;
+  /// Trace events this case emitted, by kind (delta of the machine sink's
+  /// counters across the case).
+  trace::Counters events;
+  /// Event tail captured at the moment of death (Catastrophic only) — for a
+  /// deferred fuse panic it reaches back through earlier cases' entries to
+  /// the corrupting hazard write.
+  std::vector<trace::TraceEvent> trace_tail;
 };
 
 class Executor {
@@ -31,7 +42,9 @@ class Executor {
 
   /// Precondition: !machine().crashed().  Resets the filesystem fixture,
   /// builds a fresh task, materializes the tuple, dispatches, classifies.
-  CaseResult run_case(const MuT& mut, std::span<const TestValue* const> tuple);
+  /// `case_index` stamps the emitted trace events (-1 = unindexed run).
+  CaseResult run_case(const MuT& mut, std::span<const TestValue* const> tuple,
+                      std::int64_t case_index = -1);
 
   /// Installs per-task ambient state (load testing); runs after task
   /// creation and before argument construction.

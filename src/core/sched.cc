@@ -24,6 +24,13 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
   std::int64_t last_corruptor = -1;
   int corruption_seen = machine.arena().corruption();
 
+  // Shard lifecycle markers (observability only: emitted outside any case,
+  // so they never enter per-case counter deltas and cannot perturb the
+  // determinism contract).
+  machine.trace().emit(trace::shard_event(
+      trace::EventKind::kShardStart, shard.index,
+      static_cast<std::uint32_t>(shard.items.size())));
+
   for (const ShardItem& item : shard.items) {
     const std::int64_t self = static_cast<std::int64_t>(out.partials.size());
     out.partials.push_back({item.mut_index, item.range.first, {}});
@@ -35,9 +42,11 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
 
     for (std::uint64_t i = item.range.first; i < end; ++i) {
       const auto tuple = gen.tuple(i);
-      const CaseResult r = executor.run_case(*item.mut, tuple);
+      const CaseResult r =
+          executor.run_case(*item.mut, tuple, static_cast<std::int64_t>(i));
       ++stats.executed;
       ++out.executed_cases;
+      stats.event_counts += r.events;
       if (opt.record_cases) stats.case_codes.push_back(case_code(r));
 
       if (machine.arena().corruption() > corruption_seen) {
@@ -63,8 +72,7 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
         case Outcome::kCatastrophic: {
           // Blame the arena corruptor for deferred panics; the immediate
           // crash is the current MuT's own.
-          const bool deferred =
-              r.detail.find("delayed") != std::string::npos;
+          const bool deferred = r.panic == sim::PanicKind::kDeferredFuse;
           MutStats* blamed = &stats;
           if (deferred && last_corruptor >= 0 && last_corruptor != self)
             blamed =
@@ -73,6 +81,7 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
           if (!blamed->catastrophic) {
             blamed->catastrophic = true;
             blamed->crash_detail = r.detail;
+            blamed->crash_trace = r.trace_tail;
             if (blamed == &stats) {
               blamed->crash_case = static_cast<std::int64_t>(i);
               blamed->crash_tuple = describe_tuple(tuple);
@@ -89,7 +98,8 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
             // case alone on the rebooted machine.  Immediate-style crashes
             // reproduce; interference-style ones do not (`*`).
             if (opt.repro_pass) {
-              const CaseResult rerun = executor.run_case(*item.mut, tuple);
+              const CaseResult rerun = executor.run_case(
+                  *item.mut, tuple, static_cast<std::int64_t>(i));
               stats.crash_reproducible_single =
                   rerun.outcome == Outcome::kCatastrophic;
               if (machine.crashed()) {
@@ -111,6 +121,9 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
       }
     }
   }
+  machine.trace().emit(trace::shard_event(
+      trace::EventKind::kShardEnd, shard.index,
+      static_cast<std::uint32_t>(shard.items.size())));
   return out;
 }
 
@@ -180,15 +193,18 @@ CampaignResult merge_outcomes(const Plan& plan,
       // so appending per shard keeps case_codes index-aligned.
       dst.case_codes.insert(dst.case_codes.end(), src.case_codes.begin(),
                             src.case_codes.end());
+      dst.event_counts += src.event_counts;
       if (src.catastrophic && !dst.catastrophic) {
         dst.catastrophic = true;
         dst.crash_case = src.crash_case;
         dst.crash_detail = src.crash_detail;
         dst.crash_tuple = src.crash_tuple;
+        dst.crash_trace = src.crash_trace;
         dst.crash_reproducible_single = src.crash_reproducible_single;
       }
     }
   }
+  for (const MutStats& s : result.stats) result.event_counters += s.event_counts;
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/executor.h"
@@ -76,8 +77,10 @@ bool TestClient::poll() {
     core::Executor executor(*machine_);
     for (std::uint64_t k = 0; k < req.count; ++k) {
       const auto tuple = gen.tuple(req.first + k);
-      const core::CaseResult r = executor.run_case(*mut, tuple);
+      const core::CaseResult r = executor.run_case(
+          *mut, tuple, static_cast<std::int64_t>(req.first + k));
       reply.shard_result.codes.push_back(core::case_code(r));
+      reply.shard_result.counters += r.events;
       if (machine_->crashed()) {
         // The crash report travels in-band: the truncated code vector ends
         // at the Catastrophic case, so the server needs no separate notice.
@@ -109,7 +112,8 @@ bool TestClient::poll() {
   core::TupleGenerator gen(*mut, cap_, seed_);
   const auto tuple = gen.tuple(msg->request.case_index);
   core::Executor executor(*machine_);
-  const core::CaseResult r = executor.run_case(*mut, tuple);
+  const core::CaseResult r = executor.run_case(
+      *mut, tuple, static_cast<std::int64_t>(msg->request.case_index));
   core::CaseResult normalized = r;
   reply.result.code = core::case_code(normalized);
   reply.result.detail = r.detail;
@@ -189,6 +193,7 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
         ++result.total_cases;
         apply_code(stats, sr.codes[k], tuple_has_exceptional(gen, first + k));
       }
+      stats.event_counts += sr.counters;
       if (sr.crashed) {
         // The truncated code vector ends at the Catastrophic case.
         const std::uint64_t crash_index = first + sr.codes.size() - 1;
@@ -207,6 +212,8 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
     }
     result.stats.push_back(std::move(stats));
   }
+  for (const core::MutStats& s : result.stats)
+    result.event_counters += s.event_counts;
 
   Message bye;
   bye.type = MessageType::kShutdown;
@@ -226,7 +233,8 @@ bool CeFileDropClient::execute(const TestRequest& request) {
   core::TupleGenerator gen(*mut, cap_, seed_);
   const auto tuple = gen.tuple(request.case_index);
   core::Executor executor(target_);
-  const core::CaseResult r = executor.run_case(*mut, tuple);
+  const core::CaseResult r = executor.run_case(
+      *mut, tuple, static_cast<std::int64_t>(request.case_index));
 
   // "taking five to ten seconds per test case" (§3.2).
   target_.advance_ticks(7'000);
@@ -243,9 +251,13 @@ bool CeFileDropClient::execute(const TestRequest& request) {
     fs.reset_fixture();
     node = fs.create_file(path, false, true);
   }
-  const std::string line =
-      request.mut_name + " " + std::to_string(request.case_index) + " " +
-      std::to_string(static_cast<int>(core::case_code(r)));
+  // "<name> <index> <code> <event counters> <probe counters>": the
+  // trace-spine counters travel in the same drop file as the case code.
+  std::string line = request.mut_name + " " +
+                     std::to_string(request.case_index) + " " +
+                     std::to_string(static_cast<int>(core::case_code(r)));
+  for (std::uint64_t c : r.events.n) line += " " + std::to_string(c);
+  for (std::uint64_t c : r.events.probe) line += " " + std::to_string(c);
   node->data().assign(line.begin(), line.end());
   return true;
 }
@@ -258,7 +270,11 @@ core::CampaignResult run_ce_file_drop_campaign(const core::Registry& registry,
   sim::Machine target(sim::OsVariant::kWinCE);
   CeFileDropClient client(target, registry, cap, seed);
 
-  auto read_result_file = [&]() -> std::optional<core::CaseCode> {
+  struct DropLine {
+    core::CaseCode code;
+    trace::Counters counters;
+  };
+  auto read_result_file = [&]() -> std::optional<DropLine> {
     auto& fs = target.fs();
     const auto path =
         fs.parse(std::string("/tmp/") +
@@ -268,12 +284,19 @@ core::CampaignResult run_ce_file_drop_campaign(const core::Registry& registry,
     if (node == nullptr) return std::nullopt;
     const std::string text(node->data().begin(), node->data().end());
     fs.remove_file(path);
-    const auto last_space = text.find_last_of(' ');
-    if (last_space == std::string::npos) return std::nullopt;
-    const int code = std::atoi(text.c_str() + last_space + 1);
+    std::istringstream in(text);
+    std::string name;
+    std::uint64_t index = 0;
+    int code = -1;
+    if (!(in >> name >> index >> code)) return std::nullopt;
     if (code < 0 || code > static_cast<int>(core::CaseCode::kHindering))
       return std::nullopt;
-    return static_cast<core::CaseCode>(code);
+    DropLine out{static_cast<core::CaseCode>(code), {}};
+    for (std::size_t i = 0; i < trace::kEventKindCount; ++i)
+      if (!(in >> out.counters.n[i])) return std::nullopt;
+    for (std::size_t i = 0; i < trace::kProbeResultCount; ++i)
+      if (!(in >> out.counters.probe[i])) return std::nullopt;
+    return out;
   };
 
   for (const core::MuT* mut : registry.for_variant(sim::OsVariant::kWinCE)) {
@@ -301,13 +324,16 @@ core::CampaignResult run_ce_file_drop_campaign(const core::Registry& registry,
         }
         break;
       }
-      const auto code = read_result_file();
-      if (!code) continue;  // lost result: skip (kept visible in planned)
+      const auto line = read_result_file();
+      if (!line) continue;  // lost result: skip (kept visible in planned)
       const bool exceptional = tuple_has_exceptional(gen, i);
-      apply_code(stats, *code, exceptional);
+      apply_code(stats, line->code, exceptional);
+      stats.event_counts += line->counters;
     }
     result.stats.push_back(std::move(stats));
   }
+  for (const core::MutStats& s : result.stats)
+    result.event_counters += s.event_counts;
   return result;
 }
 

@@ -68,6 +68,8 @@ std::vector<std::uint8_t> encode(const Message& m) {
         out.push_back(static_cast<std::uint8_t>(c));
       out.push_back(m.shard_result.crashed ? 1 : 0);
       put_str(out, m.shard_result.detail);
+      for (std::uint64_t c : m.shard_result.counters.n) put_u64(out, c);
+      for (std::uint64_t c : m.shard_result.counters.probe) put_u64(out, c);
       break;
     case MessageType::kShutdown:
       break;
@@ -118,8 +120,19 @@ std::optional<Message> decode(const std::vector<std::uint8_t>& frame) {
     if (crashed > 1) return std::nullopt;  // must re-encode byte-exactly
     auto detail = r.str();
     if (!detail) return std::nullopt;
-    m.shard_result = {std::move(*name), *first, std::move(codes),
-                      crashed == 1, std::move(*detail)};
+    trace::Counters counters;
+    for (std::size_t i = 0; i < trace::kEventKindCount; ++i) {
+      auto c = r.u64();
+      if (!c) return std::nullopt;
+      counters.n[i] = *c;
+    }
+    for (std::size_t i = 0; i < trace::kProbeResultCount; ++i) {
+      auto c = r.u64();
+      if (!c) return std::nullopt;
+      counters.probe[i] = *c;
+    }
+    m.shard_result = {std::move(*name), *first,       std::move(codes),
+                      crashed == 1,     std::move(*detail), counters};
   } else if (m.type != MessageType::kShutdown) {
     auto name = r.str();
     auto idx = r.u64();

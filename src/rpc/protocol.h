@@ -57,6 +57,10 @@ struct ShardResult {
   std::vector<core::CaseCode> codes;
   bool crashed = false;
   std::string detail;
+  /// Per-event-kind totals over the executed cases (trace spine counters);
+  /// serialized after `detail` so older offset-sensitive readers of the
+  /// prefix stay valid.
+  trace::Counters counters;
 };
 
 struct Message {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/trace.h"
+
 namespace ballista::sim {
 
 SharedArena::SharedArena() = default;
@@ -127,7 +129,8 @@ Page* AddressSpace::page_for(Addr a, Access m, bool write) const {
   return p;
 }
 
-void AddressSpace::fault(FaultType t, Addr a, bool write) {
+void AddressSpace::fault(FaultType t, Addr a, bool write) const {
+  if (trace_ != nullptr) trace_->emit(trace::fault_event(t, a, write));
   throw SimFault(Fault{t, a, write});
 }
 

@@ -28,6 +28,10 @@
 
 #include "sim/fault.h"
 
+namespace ballista::trace {
+class TraceSink;
+}
+
 namespace ballista::sim {
 
 inline constexpr Addr kPageSize = 4096;
@@ -156,16 +160,22 @@ class AddressSpace {
   bool strict_alignment() const noexcept { return strict_align_; }
   SharedArena* arena() const noexcept { return arena_; }
 
+  /// Wires the MMU into the owning machine's trace spine so faults are
+  /// recorded before they throw.  Standalone address spaces (tests, benches)
+  /// leave it unset and fault silently, as before.
+  void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
+
   /// Total private pages currently mapped (leak checks in tests).
   std::size_t mapped_page_count() const noexcept { return pages_.size(); }
 
  private:
   Page* page_for(Addr a, Access m, bool write) const;
-  [[noreturn]] static void fault(FaultType t, Addr a, bool write);
+  [[noreturn]] void fault(FaultType t, Addr a, bool write) const;
   void check_alignment(Addr a, std::uint64_t size, bool write) const;
 
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
   SharedArena* arena_;
+  trace::TraceSink* trace_ = nullptr;
   bool strict_align_;
   Addr bump_ = 0x0010'0000;  // start of the harness allocation region
 };

@@ -1,5 +1,7 @@
 #include "sim/fault.h"
 
+#include <cstdio>
+
 namespace ballista::sim {
 
 std::string_view fault_type_name(FaultType t) noexcept {
@@ -13,13 +15,41 @@ std::string_view fault_type_name(FaultType t) noexcept {
   return "UNKNOWN";
 }
 
-std::string SimFault::describe(const Fault& f) {
+std::string_view panic_reason(PanicKind k) noexcept {
+  switch (k) {
+    case PanicKind::kNone:
+      return "";
+    case PanicKind::kKernelPageFault:
+      return "page fault in kernel context (unprobed user pointer)";
+    case PanicKind::kCriticalArenaWrite:
+      return "kernel write through user pointer corrupted system area";
+    case PanicKind::kDeferredFuse:
+      return "delayed failure from corrupted shared arena";
+    case PanicKind::kInduced:
+      return "induced panic (test hook)";
+  }
+  return "";
+}
+
+std::string describe_fault(const Fault& f) {
   std::string s{fault_type_name(f.type)};
   s += f.is_write ? " writing " : " reading ";
   char buf[32];
   std::snprintf(buf, sizeof buf, "0x%llx",
                 static_cast<unsigned long long>(f.address));
   s += buf;
+  return s;
+}
+
+std::string describe_panic(PanicKind k) {
+  std::string s{"kernel panic: "};
+  s += panic_reason(k);
+  return s;
+}
+
+std::string describe_hang(std::string_view site) {
+  std::string s{"task hang in "};
+  s += site;
   return s;
 }
 

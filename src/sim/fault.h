@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace ballista::sim {
 
@@ -33,18 +34,37 @@ struct Fault {
   bool is_write = false;
 };
 
+/// Why a machine died.  The structured counterpart of the old free-form
+/// crash-reason strings: blame attribution (deferred vs. immediate) and all
+/// human-readable rendering key off this enum, never off string matching.
+enum class PanicKind : std::uint8_t {
+  kNone = 0,            // machine is up
+  kKernelPageFault,     // page fault in kernel context (unprobed user pointer)
+  kCriticalArenaWrite,  // kernel write through user pointer hit a critical area
+  kDeferredFuse,        // delayed death from earlier shared-arena corruption
+  kInduced,             // test/diagnostic hook forced the panic
+};
+
+/// The single source of panic-reason text (Machine::crash_reason and the
+/// trace renderer both delegate here).
+std::string_view panic_reason(PanicKind k) noexcept;
+
+// Shared formatters: the one place fault/hang/panic text is assembled.
+std::string describe_fault(const Fault& f);
+std::string describe_panic(PanicKind k);
+std::string describe_hang(std::string_view site);
+
 /// Thrown by the MMU when simulated code touches invalid memory.  Propagates
 /// like the hardware trap it models; the executor catches it at the task
 /// boundary.
 class SimFault : public std::runtime_error {
  public:
   explicit SimFault(const Fault& f)
-      : std::runtime_error(describe(f)), fault_(f) {}
+      : std::runtime_error(describe_fault(f)), fault_(f) {}
 
   const Fault& fault() const noexcept { return fault_; }
 
  private:
-  static std::string describe(const Fault& f);
   Fault fault_;
 };
 
@@ -52,16 +72,21 @@ class SimFault : public std::runtime_error {
 /// simulated Blue Screen.  Only a Machine::reboot() clears it.
 class KernelPanic : public std::runtime_error {
  public:
-  explicit KernelPanic(std::string reason)
-      : std::runtime_error("kernel panic: " + reason) {}
+  explicit KernelPanic(PanicKind why)
+      : std::runtime_error(describe_panic(why)), why_(why) {}
+
+  PanicKind kind() const noexcept { return why_; }
+
+ private:
+  PanicKind why_;
 };
 
 /// Thrown when a simulated task blocks with no possible waker; the executor's
 /// watchdog converts it to a Restart failure.
 class TaskHang : public std::runtime_error {
  public:
-  explicit TaskHang(std::string site)
-      : std::runtime_error("task hang in " + site) {}
+  explicit TaskHang(std::string_view site)
+      : std::runtime_error(describe_hang(site)) {}
 };
 
 }  // namespace ballista::sim

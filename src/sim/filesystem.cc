@@ -144,6 +144,15 @@ bool FileSystem::rename(const ParsedPath& from, const ParsedPath& to) {
   auto it = from_parent->children().find(from_leaf);
   if (it == from_parent->children().end()) return false;
 
+  // Moving a directory into its own subtree (rename("/a", "/a/b")) would
+  // detach the node from the root while re-attaching it beneath itself: a
+  // shared_ptr cycle unreachable from root_.  Real systems reject this
+  // (POSIX EINVAL); paths are normalized, so a component-prefix test is exact.
+  if (from.components.size() <= to.components.size() &&
+      std::equal(from.components.begin(), from.components.end(),
+                 to.components.begin()))
+    return false;
+
   std::string to_leaf;
   auto to_parent = resolve_parent(to, &to_leaf);
   if (to_parent == nullptr || to_leaf.empty()) return false;

@@ -4,13 +4,16 @@
 
 namespace ballista::sim {
 
-Machine::Machine(OsVariant variant) : pers_(personality_for(variant)) {}
+Machine::Machine(OsVariant variant) : pers_(personality_for(variant)) {
+  trace_.bind_clock(&ticks_);
+}
 
 std::unique_ptr<SimProcess> Machine::create_process() {
   assert(!crashed_ && "cannot start a task on a crashed machine");
   auto proc = std::make_unique<SimProcess>(
       *this, next_pid_++, pers_.has_shared_arena ? &arena_ : nullptr,
       pers_.strict_alignment, pers_.api == ApiFlavor::kPosix);
+  proc->mem().set_trace(&trace_);
 
   // Standard streams: three pipe-backed stream objects.
   auto make_std = [&](bool /*writable*/) {
@@ -30,28 +33,31 @@ std::unique_ptr<SimProcess> Machine::create_process() {
 
 void Machine::kernel_enter() {
   ticks_ += 1;
-  if (crashed_) throw KernelPanic(crash_reason_);
+  if (crashed_) throw KernelPanic(panic_kind_);
+  trace_.emit(trace::syscall_enter_event(fuse_remaining_));
   if (fuse_remaining_ > 0) {
+    trace_.emit(trace::fuse_burn_event(fuse_remaining_ - 1));
     if (--fuse_remaining_ == 0) {
-      panic("delayed failure from corrupted shared arena");
+      panic(PanicKind::kDeferredFuse);
     }
   }
 }
 
-void Machine::panic(std::string reason) {
+void Machine::panic(PanicKind why) {
   crashed_ = true;
-  crash_reason_ = std::move(reason);
+  panic_kind_ = why;
   ++panic_count_;
   fuse_remaining_ = -1;
-  throw KernelPanic(crash_reason_);
+  trace_.emit(trace::panic_event(why));
+  throw KernelPanic(why);
 }
 
 void Machine::note_arena_corruption(Addr where, bool critical) {
   arena_.note_corruption();
+  trace_.emit(trace::corruption_event(where, critical));
   if (critical) {
-    panic("kernel write through user pointer corrupted system area");
+    panic(PanicKind::kCriticalArenaWrite);
   }
-  (void)where;
   if (fuse_remaining_ < 0) fuse_remaining_ = pers_.corruption_fuse;
 }
 
@@ -63,10 +69,11 @@ void Machine::age_arena(int fuse_entries) {
 
 void Machine::reboot() {
   crashed_ = false;
-  crash_reason_.clear();
+  panic_kind_ = PanicKind::kNone;
   fuse_remaining_ = -1;
   arena_.clear();
   fs_.reset_fixture();
+  trace_.emit(trace::reboot_event(panic_count_));
 }
 
 void Machine::reset() {
@@ -74,6 +81,7 @@ void Machine::reset() {
   ticks_ = kBootTicks;
   next_pid_ = kFirstPid;
   panic_count_ = 0;
+  trace_.clear();
 }
 
 }  // namespace ballista::sim

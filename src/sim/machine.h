@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "core/trace.h"
 #include "sim/addrspace.h"
 #include "sim/filesystem.h"
 #include "sim/personality.h"
@@ -27,12 +28,21 @@ class Machine {
   FileSystem& fs() noexcept { return fs_; }
   SharedArena& arena() noexcept { return arena_; }
 
+  /// The machine's event spine: every kernel-side actor (panic/fuse/MMU
+  /// fault paths, CallContext probes, the executor) emits through this sink.
+  trace::TraceSink& trace() noexcept { return trace_; }
+  const trace::TraceSink& trace() const noexcept { return trace_; }
+
   /// Monotonic tick counter standing in for wall-clock time.
   std::uint64_t ticks() const noexcept { return ticks_; }
   void advance_ticks(std::uint64_t n) noexcept { ticks_ += n; }
 
   bool crashed() const noexcept { return crashed_; }
-  const std::string& crash_reason() const noexcept { return crash_reason_; }
+  PanicKind panic_kind() const noexcept { return panic_kind_; }
+  /// Rendered view of the panic kind (empty while the machine is up).
+  std::string_view crash_reason() const noexcept {
+    return panic_reason(panic_kind_);
+  }
   int panic_count() const noexcept { return panic_count_; }
 
   /// Creates a fresh task.  Must not be called on a crashed machine.
@@ -46,7 +56,7 @@ class Machine {
 
   /// Immediate, attributable kernel death (unprobed kernel write hit a
   /// critical structure, or page fault in kernel/VxD context).
-  [[noreturn]] void panic(std::string reason);
+  [[noreturn]] void panic(PanicKind why);
 
   /// A kernel-context write landed in the shared arena.  `critical` writes
   /// (low system area: interrupt vectors, VMM structures) kill the machine
@@ -54,10 +64,11 @@ class Machine {
   void note_arena_corruption(Addr where, bool critical);
 
   /// Clears the crash, the arena, the fuse and restores the disk fixture.
+  /// The trace ring survives, so a post-reboot tail still shows the death.
   void reboot();
 
   /// Restores pristine post-construction boot state: reboot() plus the tick
-  /// counter, pid counter and panic count.  A reset machine is
+  /// counter, pid counter, panic count and trace sink.  A reset machine is
   /// indistinguishable from a freshly constructed one; the campaign engine's
   /// MachinePool uses this to reuse machines across shards.
   void reset();
@@ -73,13 +84,14 @@ class Machine {
   Personality pers_;
   SharedArena arena_;
   FileSystem fs_;
+  trace::TraceSink trace_;
   static constexpr std::uint64_t kBootTicks = 1'000'000;
   static constexpr std::uint64_t kFirstPid = 100;
 
   std::uint64_t ticks_ = kBootTicks;
   std::uint64_t next_pid_ = kFirstPid;
   bool crashed_ = false;
-  std::string crash_reason_;
+  PanicKind panic_kind_ = PanicKind::kNone;
   int panic_count_ = 0;
   /// -1 = disarmed; otherwise kernel entries remaining until panic.
   int fuse_remaining_ = -1;

@@ -87,7 +87,9 @@ TEST(Executor, PanicClassifiesAsCatastrophicAndCrashesMachine) {
   sim::Machine m(OsVariant::kWin98);
   Executor ex(m);
   MiniMut mini(
-      [](CallContext& c) -> CallOutcome { c.machine().panic("boom"); },
+      [](CallContext& c) -> CallOutcome {
+        c.machine().panic(sim::PanicKind::kInduced);
+      },
       {});
   const CaseResult r = ex.run_case(mini.mut, {});
   EXPECT_EQ(r.outcome, Outcome::kCatastrophic);

@@ -95,6 +95,19 @@ TEST_F(FsTest, RenameMovesNodes) {
   EXPECT_FALSE(fs.rename(p("/tmp/ghost"), p("/tmp/x")));
 }
 
+TEST_F(FsTest, RenameRejectsMovingADirectoryIntoItsOwnSubtree) {
+  // rename("/a", "/a/b") would make the directory its own child: a shared_ptr
+  // cycle unreachable from the root (caught by the asan preset's leak check).
+  ASSERT_NE(fs.create_dir(p("/tmp/a")), nullptr);
+  EXPECT_FALSE(fs.rename(p("/tmp/a"), p("/tmp/a/b")));
+  EXPECT_FALSE(fs.rename(p("/tmp"), p("/tmp/a/deep")));
+  EXPECT_FALSE(fs.rename(p("/tmp/a"), p("/tmp/a")));  // onto itself
+  // the source tree is untouched by a refused rename
+  EXPECT_NE(fs.resolve(p("/tmp/a")), nullptr);
+  // a sibling move still works
+  EXPECT_TRUE(fs.rename(p("/tmp/a"), p("/tmp/b")));
+}
+
 TEST_F(FsTest, ResetFixtureRestoresCanonicalTree) {
   fs.create_file(p("/tmp/junk"), true, false);
   fs.resolve(p("/tmp/fixture.dat"))->data().clear();

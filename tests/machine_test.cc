@@ -44,16 +44,17 @@ TEST(Personality, FamilyPredicates) {
 TEST(Machine, PanicSetsCrashStateAndThrows) {
   Machine m(OsVariant::kWin98);
   EXPECT_FALSE(m.crashed());
-  EXPECT_THROW(m.panic("test"), KernelPanic);
+  EXPECT_THROW(m.panic(PanicKind::kInduced), KernelPanic);
   EXPECT_TRUE(m.crashed());
-  EXPECT_EQ(m.crash_reason(), "test");
+  EXPECT_EQ(m.panic_kind(), PanicKind::kInduced);
+  EXPECT_EQ(m.crash_reason(), "induced panic (test hook)");
   EXPECT_EQ(m.panic_count(), 1);
 }
 
 TEST(Machine, KernelEnterOnCrashedMachineRethrows) {
   Machine m(OsVariant::kWin98);
   try {
-    m.panic("dead");
+    m.panic(PanicKind::kInduced);
   } catch (const KernelPanic&) {
   }
   EXPECT_THROW(m.kernel_enter(), KernelPanic);
@@ -63,7 +64,7 @@ TEST(Machine, RebootClearsEverything) {
   Machine m(OsVariant::kWin98);
   m.arena().page(0x100)->data[0] = 0xFF;
   try {
-    m.panic("dead");
+    m.panic(PanicKind::kInduced);
   } catch (const KernelPanic&) {
   }
   m.reboot();

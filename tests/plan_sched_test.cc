@@ -23,6 +23,7 @@ void expect_same_result(const CampaignResult& a, const CampaignResult& b,
   EXPECT_EQ(a.variant, b.variant) << label;
   EXPECT_EQ(a.reboots, b.reboots) << label;
   EXPECT_EQ(a.total_cases, b.total_cases) << label;
+  EXPECT_EQ(a.event_counters, b.event_counters) << label;
   ASSERT_EQ(a.stats.size(), b.stats.size()) << label;
   for (std::size_t i = 0; i < a.stats.size(); ++i) {
     const MutStats& x = a.stats[i];
@@ -42,6 +43,16 @@ void expect_same_result(const CampaignResult& a, const CampaignResult& b,
     EXPECT_EQ(x.crash_tuple, y.crash_tuple) << at;
     EXPECT_EQ(x.crash_reproducible_single, y.crash_reproducible_single) << at;
     EXPECT_EQ(x.case_codes, y.case_codes) << at;
+    EXPECT_EQ(x.event_counts, y.event_counts) << at;
+    // Crash-trace tails are captured on the machine that died; schedules
+    // with different tick streams must still agree on the causal chain
+    // (event kinds + case stamps), though raw tick values may differ.
+    ASSERT_EQ(x.crash_trace.size(), y.crash_trace.size()) << at;
+    for (std::size_t k = 0; k < x.crash_trace.size(); ++k) {
+      EXPECT_EQ(x.crash_trace[k].kind, y.crash_trace[k].kind) << at;
+      EXPECT_EQ(x.crash_trace[k].case_index, y.crash_trace[k].case_index)
+          << at;
+    }
   }
 }
 
@@ -133,7 +144,7 @@ TEST(MachinePool, CheckoutResetsToPristineBootState) {
   m.age_arena(3);
   try {
     auto proc = m.create_process();
-    m.panic("test damage");
+    m.panic(sim::PanicKind::kInduced);
   } catch (const sim::KernelPanic&) {
   }
   sim::Machine& again = pool.checkout(0);

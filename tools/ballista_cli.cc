@@ -44,6 +44,11 @@ struct Args {
   std::string mut_csv, value_csv;
   bool analyze = false;
   unsigned jobs = 1;
+  /// --trace[=N]: print the last N rendered trace events for every
+  /// Catastrophic MuT (run) or the whole machine tail (repro).
+  std::optional<std::size_t> trace_events;
+  /// --event-counters: print per-variant aggregate event-kind counters.
+  bool event_counters = false;
   bool ok = true;
 };
 
@@ -80,6 +85,13 @@ Args parse_args(int argc, char** argv) {
       a.value_csv = next();
     } else if (flag == "--analyze") {
       a.analyze = true;
+    } else if (flag == "--trace") {
+      a.trace_events = 16;
+    } else if (flag.rfind("--trace=", 0) == 0) {
+      a.trace_events = std::strtoull(flag.c_str() + 8, nullptr, 10);
+      if (*a.trace_events == 0) a.ok = false;
+    } else if (flag == "--event-counters") {
+      a.event_counters = true;
     } else if (flag == "--jobs") {
       a.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
       if (a.jobs == 0) a.ok = false;
@@ -105,12 +117,16 @@ int usage() {
       "  list-types                               data types and value pools\n"
       "  run [--os NAME] [--cap N] [--seed S] [--api sys|clib] [--jobs N]\n"
       "      [--mut-csv F] [--value-csv F] [--analyze]\n"
-      "  repro --os NAME --mut NAME --case I      single-test reproduction\n"
+      "      [--trace[=N]] [--event-counters]\n"
+      "  repro --os NAME --mut NAME --case I [--trace[=N]]\n"
+      "                                           single-test reproduction\n"
       "  crashes [--os NAME] [--cap N] [--jobs N] Catastrophic function lists\n"
       "  tables [--cap N] [--jobs N]              all paper tables and figures\n"
       "OS names: win95 win98 win98se nt4 win2000 wince linux\n"
       "--jobs N runs each campaign on N worker machines; results are\n"
-      "identical for every N (deterministic sharded engine).\n";
+      "identical for every N (deterministic sharded engine).\n"
+      "--trace[=N] dumps the causal event chain behind each Catastrophic\n"
+      "failure; --event-counters prints per-variant kernel-event totals.\n";
   return 2;
 }
 
@@ -160,6 +176,23 @@ int cmd_list_types(const harness::World& world) {
   return 0;
 }
 
+void print_observability(const core::CampaignResult& r, const Args& a) {
+  if (a.event_counters)
+    std::cout << sim::variant_name(r.variant) << " events: "
+              << trace::counters_json(r.event_counters) << "\n";
+  if (!a.trace_events) return;
+  for (const core::MutStats& s : r.stats) {
+    if (!s.catastrophic || s.crash_trace.empty()) continue;
+    std::cout << sim::variant_name(r.variant) << " / " << s.mut->name
+              << " crash chain (" << s.crash_detail << "):\n";
+    std::vector<trace::TraceEvent> tail = s.crash_trace;
+    if (tail.size() > *a.trace_events)
+      tail.erase(tail.begin(),
+                 tail.end() - static_cast<std::ptrdiff_t>(*a.trace_events));
+    std::cout << trace::render_tail(tail);
+  }
+}
+
 int cmd_run(const harness::World& world, const Args& a) {
   std::vector<core::CampaignResult> results;
   for (sim::OsVariant v : os_list(a)) {
@@ -173,6 +206,7 @@ int cmd_run(const harness::World& world, const Args& a) {
     results.push_back(core::Campaign::run(v, world.registry, opt));
   }
   core::print_table1(std::cout, results);
+  for (const auto& r : results) print_observability(r, a);
   for (const auto& r : results) {
     if (!a.mut_csv.empty()) {
       std::ofstream f(a.mut_csv, results.size() == 1
@@ -218,12 +252,19 @@ int cmd_repro(const harness::World& world, const Args& a) {
 
   sim::Machine machine(*a.os);
   core::Executor executor(machine);
-  const core::CaseResult r = executor.run_case(*mut, tuple);
+  const core::CaseResult r = executor.run_case(
+      *mut, tuple, static_cast<std::int64_t>(a.case_index));
   std::cout << "outcome: " << core::outcome_name(r.outcome);
   if (!r.detail.empty()) std::cout << "  (" << r.detail << ")";
   std::cout << "\n";
   if (machine.crashed())
     std::cout << "machine state: CRASHED — reboot required\n";
+  if (a.trace_events) {
+    std::cout << "trace:\n"
+              << trace::render_tail(machine.trace().tail(*a.trace_events));
+  }
+  if (a.event_counters)
+    std::cout << "events: " << trace::counters_json(r.events) << "\n";
   return r.outcome == core::Outcome::kPass ? 0 : 1;
 }
 
@@ -237,6 +278,7 @@ int cmd_crashes(const harness::World& world, const Args& a) {
     results.push_back(core::Campaign::run(v, world.registry, opt));
   }
   core::print_table3(std::cout, results);
+  for (const auto& r : results) print_observability(r, a);
   return 0;
 }
 
