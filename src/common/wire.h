@@ -1,0 +1,190 @@
+// Shared wire primitives: explicit little-endian serialization, a bounded
+// cursor-style Reader, CRC-32 and a CRC-guarded record frame.
+//
+// Two subsystems speak this dialect and must never drift apart:
+//   - rpc/protocol encodes harness messages exactly as they would travel over
+//     a socket (length-prefixed strings, LE integers);
+//   - store/ appends campaign shard records to the on-disk .blog log, each
+//     wrapped in the put_frame/read_frame envelope below so a truncated or
+//     bit-flipped log degrades to its longest valid prefix instead of UB.
+//
+// Everything here is header-only and allocation-conscious; the Reader never
+// reads past `size` and every accessor reports failure through std::optional
+// (robustness matters in a robustness-testing harness).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ballista::wire {
+
+// --- little-endian writers ---------------------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// u64 byte count followed by the raw bytes.
+inline void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// --- bounded reader ----------------------------------------------------------
+
+/// Cursor over a byte buffer.  Accessors return nullopt instead of reading
+/// out of bounds; `pos` is public so callers can mix structured reads with
+/// raw byte access (the rpc decoder does).
+struct Reader {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  Reader() = default;
+  Reader(const std::uint8_t* d, std::size_t n, std::size_t at = 0)
+      : data(d), size(n), pos(at) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf, std::size_t at = 0)
+      : data(buf.data()), size(buf.size()), pos(at) {}
+
+  std::size_t remaining() const noexcept { return size - pos; }
+
+  std::optional<std::uint8_t> u8() {
+    if (pos + 1 > size) return std::nullopt;
+    return data[pos++];
+  }
+
+  std::optional<std::uint32_t> u32() {
+    if (pos + 4 > size) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | data[pos + static_cast<std::size_t>(i)];
+    pos += 4;
+    return v;
+  }
+
+  std::optional<std::uint64_t> u64() {
+    if (pos + 8 > size) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+      v = (v << 8) | data[pos + static_cast<std::size_t>(i)];
+    pos += 8;
+    return v;
+  }
+
+  std::optional<std::int64_t> i64() {
+    const auto v = u64();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+
+  /// Length-prefixed string; `max_len` rejects absurd lengths before any
+  /// allocation happens (a fuzzer's favourite trap).
+  std::optional<std::string> str(std::uint64_t max_len = 1u << 20) {
+    const auto len = u64();
+    if (!len || *len > max_len || pos + *len > size) return std::nullopt;
+    std::string s(data + pos, data + pos + *len);
+    pos += *len;
+    return s;
+  }
+};
+
+// --- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------------------
+
+inline std::uint32_t crc32(const std::uint8_t* p, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& buf) {
+  return crc32(buf.data(), buf.size());
+}
+
+// --- CRC-guarded record frame ------------------------------------------------
+//
+//   [u8 type][u64 payload_len][payload bytes][u32 crc]
+//
+// The CRC covers type + length + payload, so any single-bit flip anywhere in
+// a frame (including its own header) is detected.  A reader walking frames
+// stops at the first bad or truncated one and keeps everything before it —
+// the valid-prefix recovery rule the store's crash-safety contract requires.
+
+inline void put_frame(std::vector<std::uint8_t>& out, std::uint8_t type,
+                      const std::vector<std::uint8_t>& payload) {
+  const std::size_t start = out.size();
+  put_u8(out, type);
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc32(out.data() + start, out.size() - start));
+}
+
+/// One decoded frame, pointing into the caller's buffer.
+struct FrameView {
+  std::uint8_t type = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+  /// Total encoded size (header + payload + crc): advance by this much.
+  std::size_t frame_size = 0;
+};
+
+enum class FrameStatus : std::uint8_t {
+  kOk,         // frame decoded, CRC verified
+  kTruncated,  // buffer ends before the frame does (clean cut)
+  kCorrupt,    // CRC mismatch or implausible length
+};
+
+/// Reads the frame starting at data[pos].  `max_payload` bounds how large a
+/// declared payload may be before it is treated as corruption (protects the
+/// reader from allocating per a garbage length field).
+inline FrameStatus read_frame(const std::uint8_t* data, std::size_t size,
+                              std::size_t pos, std::uint64_t max_payload,
+                              FrameView& out) {
+  constexpr std::size_t kHeader = 1 + 8;  // type + payload_len
+  constexpr std::size_t kCrc = 4;
+  if (pos + kHeader > size) return FrameStatus::kTruncated;
+  Reader r(data, size, pos);
+  const std::uint8_t type = *r.u8();
+  const std::uint64_t len = *r.u64();
+  if (len > max_payload) return FrameStatus::kCorrupt;
+  if (pos + kHeader + len + kCrc > size) return FrameStatus::kTruncated;
+  const std::uint32_t want =
+      crc32(data + pos, kHeader + static_cast<std::size_t>(len));
+  Reader crc_r(data, size, pos + kHeader + static_cast<std::size_t>(len));
+  if (*crc_r.u32() != want) return FrameStatus::kCorrupt;
+  out.type = type;
+  out.payload = data + pos + kHeader;
+  out.payload_size = static_cast<std::size_t>(len);
+  out.frame_size = kHeader + static_cast<std::size_t>(len) + kCrc;
+  return FrameStatus::kOk;
+}
+
+}  // namespace ballista::wire

@@ -27,6 +27,9 @@
 
 namespace ballista::core {
 
+struct Shard;         // core/plan.h
+struct ShardOutcome;  // core/sched.h
+
 /// Compact per-case record kept for the Figure 2 voting analysis.
 enum class CaseCode : std::uint8_t {
   kPassWithError = 0,  // robust: failure reported with an error code
@@ -125,6 +128,17 @@ struct CampaignOptions {
   /// Maximum case-range size when the planner slices hazard-free MuTs into
   /// parallel shards (see core/plan.h).
   std::uint64_t shard_cases = 2048;
+  /// Persistent-store hooks (src/store).  `shard_cache` is consulted before
+  /// a shard executes: returning non-null substitutes the cached outcome and
+  /// skips execution entirely (the --resume path; cached shards do NOT fire
+  /// on_shard_complete).  `on_shard_complete` fires once per *executed*
+  /// shard as soon as its worker finishes — calls are serialized by the
+  /// engine, but arrive in completion order, which is schedule-dependent;
+  /// only the merged result is deterministic.  An exception thrown from
+  /// on_shard_complete aborts the campaign (it propagates out of
+  /// Campaign::run), which is exactly how a dying log writer should behave.
+  std::function<const ShardOutcome*(const Shard&)> shard_cache;
+  std::function<void(const ShardOutcome&)> on_shard_complete;
 };
 
 struct CampaignResult {

@@ -208,15 +208,20 @@ CampaignResult merge_outcomes(const Plan& plan,
   return result;
 }
 
-CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
-                          const CampaignOptions& opt) {
+Plan plan_for(sim::OsVariant variant, const Registry& registry,
+              const CampaignOptions& opt) {
   PlanOptions popt;
   popt.cap = opt.cap;
   popt.seed = opt.seed;
   popt.only_api = opt.only_api;
   popt.shard_cases = opt.shard_cases;
   popt.single_shard = static_cast<bool>(opt.machine_setup);
-  const Plan plan = make_plan(variant, registry, popt);
+  return make_plan(variant, registry, popt);
+}
+
+CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
+                          const CampaignOptions& opt) {
+  const Plan plan = plan_for(variant, registry, opt);
 
   const unsigned jobs =
       std::max(1u, std::min<unsigned>(
@@ -226,21 +231,43 @@ CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
                                            plan.shards.size())));
   std::vector<ShardOutcome> outcomes(plan.shards.size());
 
+  // Resume support: a cached shard is adopted wholesale and never re-run (or
+  // re-reported through on_shard_complete — it is already in the log).
+  const auto cached = [&](const Shard& s) -> const ShardOutcome* {
+    return opt.shard_cache ? opt.shard_cache(s) : nullptr;
+  };
+
   if (jobs == 1) {
     MachinePool pool(variant, 1);
-    for (const Shard& s : plan.shards)
+    for (const Shard& s : plan.shards) {
+      if (const ShardOutcome* c = cached(s)) {
+        outcomes[s.index] = *c;
+        continue;
+      }
       outcomes[s.index] = run_shard(pool.checkout(0), s, opt);
+      if (opt.on_shard_complete) opt.on_shard_complete(outcomes[s.index]);
+    }
   } else {
     MachinePool pool(variant, jobs);
     ShardQueue queue(plan, jobs);
+    std::mutex complete_mu;  // serializes on_shard_complete across workers
     std::vector<std::exception_ptr> errors(jobs);
     std::vector<std::thread> workers;
     workers.reserve(jobs);
     for (unsigned w = 0; w < jobs; ++w) {
       workers.emplace_back([&, w] {
         try {
-          while (const Shard* s = queue.next(w))
+          while (const Shard* s = queue.next(w)) {
+            if (const ShardOutcome* c = cached(*s)) {
+              outcomes[s->index] = *c;
+              continue;
+            }
             outcomes[s->index] = run_shard(pool.checkout(w), *s, opt);
+            if (opt.on_shard_complete) {
+              std::lock_guard<std::mutex> lock(complete_mu);
+              opt.on_shard_complete(outcomes[s->index]);
+            }
+          }
         } catch (...) {
           errors[w] = std::current_exception();
         }

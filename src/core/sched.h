@@ -90,6 +90,12 @@ class ShardQueue {
 CampaignResult merge_outcomes(const Plan& plan,
                               std::vector<ShardOutcome> outcomes);
 
+/// The exact Plan the engine would execute for (variant, registry, opt).
+/// Shared with the persistent store (src/store) so a resumed campaign
+/// re-plans bit-identically to the run that wrote the log.
+Plan plan_for(sim::OsVariant variant, const Registry& registry,
+              const CampaignOptions& opt);
+
 /// The full engine: plan -> schedule/execute -> merge.  Campaign::run is a
 /// thin façade over this.
 CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,

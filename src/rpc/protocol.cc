@@ -1,44 +1,15 @@
 #include "rpc/protocol.h"
 
+#include "common/wire.h"
+
 namespace ballista::rpc {
 
-namespace {
+// Serialization is built from the shared wire primitives (common/wire.h) so
+// the RPC shard messages and the persistent store's shard records stay one
+// dialect: LE integers, u64-length-prefixed strings, CaseCode bytes.
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u64(out, s.size());
-  out.insert(out.end(), s.begin(), s.end());
-}
-
-struct Reader {
-  const std::vector<std::uint8_t>& buf;
-  std::size_t pos = 0;
-
-  std::optional<std::uint64_t> u64() {
-    if (pos + 8 > buf.size()) return std::nullopt;
-    std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i)
-      v = (v << 8) | buf[pos + static_cast<std::size_t>(i)];
-    pos += 8;
-    return v;
-  }
-
-  std::optional<std::string> str() {
-    const auto len = u64();
-    if (!len || pos + *len > buf.size() || *len > (1u << 20))
-      return std::nullopt;
-    std::string s(buf.begin() + static_cast<std::ptrdiff_t>(pos),
-                  buf.begin() + static_cast<std::ptrdiff_t>(pos + *len));
-    pos += *len;
-    return s;
-  }
-};
-
-}  // namespace
+using wire::put_str;
+using wire::put_u64;
 
 std::vector<std::uint8_t> encode(const Message& m) {
   std::vector<std::uint8_t> out;
@@ -89,7 +60,7 @@ std::optional<Message> decode(const std::vector<std::uint8_t>& frame) {
     case 6: m.type = MessageType::kShardResult; break;
     default: return std::nullopt;
   }
-  Reader r{frame, 1};
+  wire::Reader r(frame, 1);
   if (m.type == MessageType::kTestRequest) {
     auto name = r.str();
     auto idx = r.u64();

@@ -1,0 +1,135 @@
+// The persistent campaign store: a crash-safe, append-only, checksummed log
+// of campaign results (.blog), plus the resume and load drivers built on it.
+//
+// Writing: CampaignStore wraps a stdio stream; every completed shard is
+// encoded as one CRC-guarded frame and flushed before append_shard returns,
+// so a process killed at any instant leaves a log whose valid prefix holds
+// every shard that was reported complete.  Records land in completion order
+// (schedule-dependent); determinism lives in the merge, which folds them in
+// plan order exactly like the in-memory engine.
+//
+// Reading: read_store never throws and never trusts a byte it has not
+// checksummed.  A torn tail (kTruncated) or a bit-flipped frame (kCorrupt)
+// degrades to the longest valid prefix; validation of decoded records
+// against the re-derived plan happens in the resume/load drivers, which
+// treat the first implausible record as the end of the usable prefix.
+//
+// Resuming: run_with_store re-plans (bit-identical by construction — same
+// fingerprint), replays the log's shard outcomes through
+// CampaignOptions::shard_cache, executes only the missing shards (appending
+// them to the same log), and merges.  The result is indistinguishable from
+// an uninterrupted run at any --jobs.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sched.h"
+#include "store/format.h"
+
+namespace ballista::store {
+
+enum class ReadStatus : std::uint8_t {
+  kOk,         // every frame verified (complete or still being written)
+  kTruncated,  // clean cut mid-frame: valid prefix recovered
+  kCorrupt,    // CRC/payload validation failed: valid prefix recovered
+  kBadHeader,  // magic/version/header record unusable: nothing recovered
+};
+
+std::string_view read_status_name(ReadStatus s) noexcept;
+
+/// Everything the reader could salvage from a log.
+struct StoreContents {
+  RunHeader header;
+  /// Decoded shard records in append (completion) order.  MutStats::mut is
+  /// left null — the resume/load drivers rebind it against the plan.
+  std::vector<core::ShardOutcome> outcomes;
+  /// kRunComplete seen: merged totals follow.
+  bool complete = false;
+  std::uint64_t complete_total_cases = 0;
+  std::int64_t complete_reboots = 0;
+  trace::Counters complete_counters;
+  ReadStatus status = ReadStatus::kBadHeader;
+  std::string error;  // human-readable when status != kOk
+  /// Byte length of the recovered prefix; resuming truncates here first.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Parses an in-memory log image (the fuzz tests drive this directly).
+StoreContents read_store(const std::vector<std::uint8_t>& bytes);
+/// Reads and parses `path`; unreadable files yield kBadHeader + error.
+StoreContents read_store_file(const std::string& path);
+
+// --- record codecs (exposed for tests and the bench) -------------------------
+
+std::vector<std::uint8_t> encode_shard_outcome(const core::ShardOutcome& o);
+/// Strict decode of one kShardOutcome payload; false on any malformation.
+bool decode_shard_outcome(const std::uint8_t* payload, std::size_t size,
+                          core::ShardOutcome& out);
+
+/// Append-only writer.  All methods return false (and latch fail()) on I/O
+/// error; nothing throws.
+class CampaignStore {
+ public:
+  /// Creates/truncates `path` and writes magic + version + the header frame.
+  static std::unique_ptr<CampaignStore> create(const std::string& path,
+                                               const RunHeader& header,
+                                               std::string* error);
+  /// Reopens `path` for appending after its recovered valid prefix.  The
+  /// torn tail (anything past `valid_bytes`) is cut off first.
+  static std::unique_ptr<CampaignStore> open_append(const std::string& path,
+                                                    std::uint64_t valid_bytes,
+                                                    std::string* error);
+  ~CampaignStore();
+  CampaignStore(const CampaignStore&) = delete;
+  CampaignStore& operator=(const CampaignStore&) = delete;
+
+  /// Frames, appends and flushes one completed shard.
+  bool append_shard(const core::ShardOutcome& outcome);
+  /// Appends the completion marker with the merged totals.
+  bool append_complete(const core::CampaignResult& result);
+
+  bool fail() const noexcept { return failed_; }
+
+ private:
+  explicit CampaignStore(std::FILE* f) : f_(f) {}
+  bool write_frame(RecordType type, const std::vector<std::uint8_t>& payload);
+
+  std::FILE* f_ = nullptr;
+  bool failed_ = false;
+};
+
+// --- drivers -----------------------------------------------------------------
+
+struct StoreRun {
+  bool ok = false;
+  std::string error;  // set when !ok
+  core::CampaignResult result;
+  /// Shards adopted from the log vs. executed this invocation.
+  std::size_t shards_reused = 0;
+  std::size_t shards_executed = 0;
+  /// What the reader reported about the log that was opened (resume/load).
+  ReadStatus log_status = ReadStatus::kOk;
+};
+
+/// Runs (or resumes) one campaign with the log at `path`.
+///   resume == false: create a fresh log, run everything, append each shard
+///                    as it completes, seal with the completion marker.
+///   resume == true:  recover the log's valid prefix, verify its fingerprint
+///                    against (variant, registry, opt), re-run only missing
+///                    shards, seal.  Fails cleanly on fingerprint mismatch.
+/// opt.machine_setup must be unset (not fingerprintable).
+StoreRun run_with_store(sim::OsVariant variant, const core::Registry& registry,
+                        const core::CampaignOptions& opt,
+                        const std::string& path, bool resume);
+
+/// Reconstructs the CampaignResult a sealed log recorded, without executing
+/// anything.  Requires a complete log whose fingerprint matches `registry`
+/// (the variant and plan parameters come from the header itself); the merged
+/// totals are cross-checked against the completion marker, so a log that
+/// would mis-merge is rejected rather than trusted.
+StoreRun load_result(const core::Registry& registry, const std::string& path);
+
+}  // namespace ballista::store

@@ -1,0 +1,60 @@
+// Shared fixtures for the persistent-store tests: a deliberately tiny
+// registry (two MuTs over one 8-value pool) so kill/truncate/fuzz loops can
+// afford dense coverage — every byte boundary, every shard — in milliseconds,
+// plus an optional single-case behaviour perturbation for the diff tests.
+#pragma once
+
+#include <string>
+
+#include "core/ballista.h"
+#include "core/sched.h"
+
+namespace ballista::testing {
+
+/// Self-contained world: `registry` draws from `ints` only.  With
+/// `perturb == true`, tiny_probe's behaviour flips for exactly one value
+/// (v3: pass-no-error -> hindering), which a cross-run diff must pinpoint.
+struct TinyWorld {
+  core::DataType ints{"tiny_int"};
+  core::Registry registry;
+
+  explicit TinyWorld(bool perturb = false) {
+    for (int i = 0; i < 8; ++i)
+      ints.add("v" + std::to_string(i), /*exceptional=*/i >= 6,
+               [i](core::ValueCtx&) { return static_cast<core::RawArg>(i); });
+
+    core::MuT probe;
+    probe.name = "tiny_probe";
+    probe.api = core::ApiKind::kCLib;
+    probe.group = core::FuncGroup::kCString;
+    probe.params = {&ints};
+    probe.variant_mask = core::kMaskEverything;
+    probe.impl = [perturb](core::CallContext& ctx) {
+      const core::RawArg v = ctx.arg(0);
+      if (perturb && v == 3) return core::wrong_error(1);
+      return v % 2 == 0 ? core::error_reported(1)
+                        : core::ok(static_cast<std::uint64_t>(v));
+    };
+    registry.add(std::move(probe));
+
+    core::MuT echo;
+    echo.name = "tiny_echo";
+    echo.api = core::ApiKind::kCLib;
+    echo.group = core::FuncGroup::kCMemory;
+    echo.params = {&ints};
+    echo.variant_mask = core::kMaskEverything;
+    echo.impl = [](core::CallContext&) { return core::error_reported(1); };
+    registry.add(std::move(echo));
+  }
+};
+
+/// Options that split the tiny registry into several shards, so resume and
+/// truncation tests see real multi-shard logs.
+inline core::CampaignOptions tiny_options() {
+  core::CampaignOptions opt;
+  opt.cap = 16;
+  opt.shard_cases = 3;
+  return opt;
+}
+
+}  // namespace ballista::testing

@@ -7,16 +7,19 @@
 //   ballista_cli repro      --os NAME --mut NAME --case I [--cap N] [--seed S]
 //   ballista_cli crashes    [--os NAME] [--cap N]
 //   ballista_cli tables     [--cap N]        (tables 1-3 + figures 1-2)
+//   ballista_cli diff       BASELINE.blog NEW.blog
 //
 // OS names: win95 win98 win98se nt4 win2000 wince linux (default: all where
-// a single OS is not required).
+// a single OS is not required).  See README.md for the full flag table.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 
 #include "core/ballista.h"
+#include "core/diff.h"
 #include "harness/world.h"
+#include "store/store.h"
 
 namespace {
 
@@ -49,6 +52,12 @@ struct Args {
   std::optional<std::size_t> trace_events;
   /// --event-counters: print per-variant aggregate event-kind counters.
   bool event_counters = false;
+  /// Persistent campaign store (run): --store writes a fresh .blog log,
+  /// --resume recovers one and re-runs only missing shards, --baseline gates
+  /// the run against an earlier log and fails on drift.
+  std::string store, resume, baseline;
+  /// Non-flag operands (only the diff command takes any).
+  std::vector<std::string> positional;
   bool ok = true;
 };
 
@@ -103,8 +112,17 @@ Args parse_args(int argc, char** argv) {
         a.api = core::ApiKind::kCLib;
       else
         a.ok = false;
-    } else {
+    } else if (flag == "--store") {
+      a.store = next();
+    } else if (flag == "--resume") {
+      a.resume = next();
+    } else if (flag == "--baseline") {
+      a.baseline = next();
+    } else if (flag.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag '" << flag << "'\n";
       a.ok = false;
+    } else {
+      a.positional.push_back(flag);
     }
   }
   return a;
@@ -118,15 +136,21 @@ int usage() {
       "  run [--os NAME] [--cap N] [--seed S] [--api sys|clib] [--jobs N]\n"
       "      [--mut-csv F] [--value-csv F] [--analyze]\n"
       "      [--trace[=N]] [--event-counters]\n"
+      "      [--store F.blog | --resume F.blog] [--baseline F.blog]\n"
       "  repro --os NAME --mut NAME --case I [--trace[=N]]\n"
       "                                           single-test reproduction\n"
       "  crashes [--os NAME] [--cap N] [--jobs N] Catastrophic function lists\n"
       "  tables [--cap N] [--jobs N]              all paper tables and figures\n"
+      "  diff BASELINE.blog NEW.blog              cross-run regression diff\n"
       "OS names: win95 win98 win98se nt4 win2000 wince linux\n"
       "--jobs N runs each campaign on N worker machines; results are\n"
       "identical for every N (deterministic sharded engine).\n"
       "--trace[=N] dumps the causal event chain behind each Catastrophic\n"
-      "failure; --event-counters prints per-variant kernel-event totals.\n";
+      "failure; --event-counters prints per-variant kernel-event totals.\n"
+      "--store appends each completed shard to a crash-safe log; --resume\n"
+      "recovers such a log and re-runs only the missing shards; --baseline\n"
+      "diffs the run against an earlier log and exits 3 on any drift.\n"
+      "Store flags require a single --os.  See README.md for details.\n";
   return 2;
 }
 
@@ -194,6 +218,17 @@ void print_observability(const core::CampaignResult& r, const Args& a) {
 }
 
 int cmd_run(const harness::World& world, const Args& a) {
+  if (!a.store.empty() && !a.resume.empty()) {
+    std::cerr << "--store and --resume are mutually exclusive\n";
+    return 2;
+  }
+  const bool uses_store =
+      !a.store.empty() || !a.resume.empty() || !a.baseline.empty();
+  if (uses_store && !a.os) {
+    std::cerr << "--store/--resume/--baseline need a single --os "
+                 "(a campaign log holds one OS variant)\n";
+    return 2;
+  }
   std::vector<core::CampaignResult> results;
   for (sim::OsVariant v : os_list(a)) {
     core::CampaignOptions opt;
@@ -203,7 +238,22 @@ int cmd_run(const harness::World& world, const Args& a) {
     if (a.api)
       opt.only_api =
           *a.api == core::ApiKind::kWin32Sys ? sys_kind_for(v) : *a.api;
-    results.push_back(core::Campaign::run(v, world.registry, opt));
+    if (!a.store.empty() || !a.resume.empty()) {
+      const bool resume = !a.resume.empty();
+      const std::string& path = resume ? a.resume : a.store;
+      store::StoreRun run =
+          store::run_with_store(v, world.registry, opt, path, resume);
+      if (!run.ok) {
+        std::cerr << run.error << "\n";
+        return 1;
+      }
+      std::cout << path << ": " << run.shards_reused
+                << " shard(s) replayed from the log, " << run.shards_executed
+                << " executed\n";
+      results.push_back(std::move(run.result));
+    } else {
+      results.push_back(core::Campaign::run(v, world.registry, opt));
+    }
   }
   core::print_table1(std::cout, results);
   for (const auto& r : results) print_observability(r, a);
@@ -226,7 +276,45 @@ int cmd_run(const harness::World& world, const Args& a) {
       }
     }
   }
+  if (!a.baseline.empty()) {
+    const store::StoreRun base =
+        store::load_result(world.registry, a.baseline);
+    if (!base.ok) {
+      std::cerr << base.error << "\n";
+      return 1;
+    }
+    const core::CampaignDiff d =
+        core::diff_campaigns(base.result, results.front());
+    core::print_diff(std::cout, d);
+    if (!d.identical()) {
+      std::cerr << "regression gate: run drifted from baseline " << a.baseline
+                << "\n";
+      return 3;
+    }
+  }
   return 0;
+}
+
+int cmd_diff(const harness::World& world, const Args& a) {
+  if (a.positional.size() != 2) {
+    std::cerr << "diff takes exactly two .blog files\n";
+    return usage();
+  }
+  const store::StoreRun base =
+      store::load_result(world.registry, a.positional[0]);
+  if (!base.ok) {
+    std::cerr << base.error << "\n";
+    return 2;
+  }
+  const store::StoreRun next =
+      store::load_result(world.registry, a.positional[1]);
+  if (!next.ok) {
+    std::cerr << next.error << "\n";
+    return 2;
+  }
+  const core::CampaignDiff d = core::diff_campaigns(base.result, next.result);
+  core::print_diff(std::cout, d);
+  return d.identical() ? 0 : 1;
 }
 
 int cmd_repro(const harness::World& world, const Args& a) {
@@ -307,6 +395,10 @@ int cmd_tables(const harness::World& world, const Args& a) {
 int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
   if (!a.ok) return usage();
+  if (a.command != "diff" && !a.positional.empty()) {
+    std::cerr << "unexpected operand '" << a.positional.front() << "'\n";
+    return usage();
+  }
   auto world = harness::build_world();
   if (a.command == "list-muts") return cmd_list_muts(*world, a);
   if (a.command == "list-types") return cmd_list_types(*world);
@@ -314,5 +406,6 @@ int main(int argc, char** argv) {
   if (a.command == "repro") return cmd_repro(*world, a);
   if (a.command == "crashes") return cmd_crashes(*world, a);
   if (a.command == "tables") return cmd_tables(*world, a);
+  if (a.command == "diff") return cmd_diff(*world, a);
   return usage();
 }
