@@ -73,6 +73,52 @@ void BM_ProcessCreation(benchmark::State& state) {
 }
 BENCHMARK(BM_ProcessCreation);
 
+void BM_ProcessRecycle(benchmark::State& state) {
+  // Pool-backed acquire/release: SimProcess::recycle instead of a full
+  // construction (compare with BM_ProcessCreation, which drops each process
+  // and so always constructs).
+  sim::Machine machine(sim::OsVariant::kWinNT4);
+  machine.release_process(machine.acquire_process());
+  for (auto _ : state) {
+    auto p = machine.acquire_process();
+    benchmark::DoNotOptimize(p);
+    machine.release_process(std::move(p));
+  }
+}
+BENCHMARK(BM_ProcessRecycle);
+
+void BM_FixtureRestore(benchmark::State& state) {
+  // arg 0: verify path (clean tree); arg 1: rebuild path (churned tree).
+  const bool churn = state.range(0) != 0;
+  sim::FileSystem fs;
+  const auto cwd = sim::FileSystem::root_path();
+  for (auto _ : state) {
+    if (churn) fs.create_file(fs.parse("/tmp/junk.dat", cwd), false, true);
+    benchmark::DoNotOptimize(fs.restore_fixture());
+  }
+}
+BENCHMARK(BM_FixtureRestore)->Arg(0)->Arg(1);
+
+void BM_RunCaseResetPolicy(benchmark::State& state) {
+  // End-to-end hot-loop cost of the two lifecycle policies on a cheap MuT
+  // (the reset-dominated regime bench_case_reset quantifies in bulk).
+  const auto policy = static_cast<sim::ResetPolicy>(state.range(0));
+  const core::MuT* mut = world().registry.find("strlen");
+  sim::Machine machine(sim::OsVariant::kWinNT4);
+  machine.set_reset_policy(policy);
+  core::Executor executor(machine);
+  core::TupleGenerator gen(*mut);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto r = executor.run_case(*mut, gen.tuple(i++ % gen.count()));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RunCaseResetPolicy)
+    ->Arg(static_cast<int>(sim::ResetPolicy::kIncremental))
+    ->Arg(static_cast<int>(sim::ResetPolicy::kAlwaysRebuild));
+
 void BM_MachineBoot(benchmark::State& state) {
   for (auto _ : state) {
     sim::Machine machine(sim::OsVariant::kWin98);

@@ -83,7 +83,7 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
             }
           }
 
-          machine.reboot();
+          machine.restore(sim::RestoreLevel::kReboot);
           ++result.reboots;
           corruption_seen = 0;
           last_corruptor = -1;
@@ -98,12 +98,12 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
               stats.crash_reproducible_single =
                   rerun.outcome == Outcome::kCatastrophic;
               if (machine.crashed()) {
-                machine.reboot();
+                machine.restore(sim::RestoreLevel::kReboot);
                 ++result.reboots;
               } else if (machine.arena().corruption() > 0) {
                 // The repro attempt may have re-corrupted the arena without
                 // dying; clear it so the next MuT starts clean.
-                machine.reboot();
+                machine.restore(sim::RestoreLevel::kReboot);
               }
               corruption_seen = 0;
               last_corruptor = -1;

@@ -50,10 +50,13 @@ CaseResult Executor::run_case(const MuT& mut,
     if (v->exceptional) result.any_exceptional = true;
 
   // Paper §2: each test cleans up lingering state (temporary files) before the
-  // next; the fixture reset gives constructors a known disk image.
-  machine_.fs().reset_fixture();
+  // next; the lifecycle restore gives constructors a known disk image at a
+  // cost proportional to what the previous case dirtied (after a reboot,
+  // whose restore already settled the disk, this verifies instead of
+  // rebuilding a second time).
+  machine_.restore(sim::RestoreLevel::kCaseReset);
 
-  auto proc = machine_.create_process();
+  auto proc = machine_.acquire_process();
   if (task_setup_) task_setup_(*proc);
   ValueCtx vctx{machine_, *proc};
 
@@ -103,6 +106,7 @@ CaseResult Executor::run_case(const MuT& mut,
                                     result.wrong_error));
   result.events = sink.counters() - before;
   sink.set_case_index(-1);
+  machine_.release_process(std::move(proc));
   return result;
 }
 

@@ -40,8 +40,10 @@ class Executor {
  public:
   explicit Executor(sim::Machine& machine) : machine_(machine) {}
 
-  /// Precondition: !machine().crashed().  Resets the filesystem fixture,
-  /// builds a fresh task, materializes the tuple, dispatches, classifies.
+  /// Precondition: !machine().crashed().  Restores the machine to its
+  /// checkpoint (RestoreLevel::kCaseReset), acquires a pristine task from the
+  /// machine's process pool, materializes the tuple, dispatches, classifies,
+  /// and releases the task for recycling.
   /// `case_index` stamps the emitted trace events (-1 = unindexed run).
   CaseResult run_case(const MuT& mut, std::span<const TestValue* const> tuple,
                       std::int64_t case_index = -1);

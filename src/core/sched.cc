@@ -88,7 +88,7 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
             }
           }
 
-          machine.reboot();
+          machine.restore(sim::RestoreLevel::kReboot);
           ++out.reboots;
           corruption_seen = 0;
           last_corruptor = -1;
@@ -103,12 +103,12 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
               stats.crash_reproducible_single =
                   rerun.outcome == Outcome::kCatastrophic;
               if (machine.crashed()) {
-                machine.reboot();
+                machine.restore(sim::RestoreLevel::kReboot);
                 ++out.reboots;
               } else if (machine.arena().corruption() > 0) {
                 // The repro attempt may have re-corrupted the arena without
                 // dying; clear it so the next MuT starts clean.
-                machine.reboot();
+                machine.restore(sim::RestoreLevel::kReboot);
               }
               corruption_seen = 0;
               last_corruptor = -1;
@@ -135,7 +135,7 @@ sim::Machine& MachinePool::checkout(unsigned worker) {
   if (!slot)
     slot = std::make_unique<sim::Machine>(variant_);
   else
-    slot->reset();
+    slot->restore(sim::RestoreLevel::kFullReset);
   return *slot;
 }
 

@@ -86,7 +86,7 @@ bool TestClient::poll() {
         // at the Catastrophic case, so the server needs no separate notice.
         reply.shard_result.crashed = true;
         reply.shard_result.detail = r.detail;
-        machine_->reboot();
+        machine_->restore(sim::RestoreLevel::kReboot);
         ++reboots_;
         break;
       }
@@ -120,7 +120,7 @@ bool TestClient::poll() {
   endpoint_.send(encode(reply));
 
   if (machine_->crashed()) {
-    machine_->reboot();
+    machine_->restore(sim::RestoreLevel::kReboot);
     ++reboots_;
     Message notice;
     notice.type = MessageType::kRebootNotice;
@@ -248,7 +248,7 @@ bool CeFileDropClient::execute(const TestRequest& request) {
   if (node == nullptr) {
     // The test case itself may have renamed or removed the scratch
     // directory; restore the canonical tree so reporting can continue.
-    fs.reset_fixture();
+    target_.restore(sim::RestoreLevel::kCaseReset);
     node = fs.create_file(path, false, true);
   }
   // "<name> <index> <code> <event counters> <probe counters>": the
@@ -313,13 +313,13 @@ core::CampaignResult run_ce_file_drop_campaign(const core::Registry& registry,
         stats.crash_case = static_cast<std::int64_t>(i);
         stats.crash_detail = target.crash_reason();
         apply_code(stats, core::CaseCode::kCatastrophic, true);
-        target.reboot();
+        target.restore(sim::RestoreLevel::kReboot);
         ++result.reboots;
         // Single-test reproduction after reboot.
         const bool again = client.execute({mut->name, i});
         stats.crash_reproducible_single = !again;
         if (!again) {
-          target.reboot();
+          target.restore(sim::RestoreLevel::kReboot);
           ++result.reboots;
         }
         break;

@@ -22,13 +22,26 @@ Page* SharedArena::page(Addr a) {
   return it->second.get();
 }
 
+std::unique_ptr<Page> AddressSpace::take_page() {
+  if (free_pages_.empty()) return std::make_unique<Page>();
+  auto p = std::move(free_pages_.back());
+  free_pages_.pop_back();
+  p->data.fill(0);  // recycled pages must look freshly allocated
+  p->dirty = false;
+  return p;
+}
+
+void AddressSpace::retire_page(std::unique_ptr<Page> p) {
+  if (free_pages_.size() < kMaxFreePages) free_pages_.push_back(std::move(p));
+}
+
 void AddressSpace::map(Addr start, std::uint64_t size, std::uint8_t perm,
                        bool kernel_only) {
   const Addr first = page_of(start);
   const Addr last = page_of(start + (size ? size - 1 : 0));
   for (Addr pg = first; pg <= last; ++pg) {
     auto& slot = pages_[pg];
-    if (!slot) slot = std::make_unique<Page>();
+    if (!slot) slot = take_page();
     slot->perm = perm;
     slot->kernel_only = kernel_only;
   }
@@ -37,7 +50,62 @@ void AddressSpace::map(Addr start, std::uint64_t size, std::uint8_t perm,
 void AddressSpace::unmap(Addr start, std::uint64_t size) {
   const Addr first = page_of(start);
   const Addr last = page_of(start + (size ? size - 1 : 0));
-  for (Addr pg = first; pg <= last; ++pg) pages_.erase(pg);
+  for (Addr pg = first; pg <= last; ++pg) {
+    auto it = pages_.find(pg);
+    if (it == pages_.end()) continue;
+    retire_page(std::move(it->second));
+    pages_.erase(it);
+  }
+}
+
+void AddressSpace::reset() {
+  for (auto& [pg, page] : pages_) retire_page(std::move(page));
+  pages_.clear();
+  bump_ = kBumpBase;
+}
+
+void AddressSpace::checkpoint() {
+  image_.clear();
+  for (const auto& [pg, page] : pages_)
+    image_.emplace(pg, std::make_pair(page->perm, page->kernel_only));
+  image_bump_ = bump_;
+  has_image_ = true;
+}
+
+void AddressSpace::restore() {
+  if (!has_image_) {
+    reset();
+    return;
+  }
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    const auto cp = image_.find(it->first);
+    if (cp == image_.end()) {
+      retire_page(std::move(it->second));
+      it = pages_.erase(it);
+      continue;
+    }
+    Page& p = *it->second;
+    if (p.dirty) {
+      p.data.fill(0);
+      p.dirty = false;
+    }
+    p.perm = cp->second.first;
+    p.kernel_only = cp->second.second;
+    ++it;
+  }
+  // A case may have unmapped checkpointed pages (wild VirtualFree/munmap
+  // values can land in the stack); remap those.
+  if (pages_.size() != image_.size()) {
+    for (const auto& [pg, meta] : image_) {
+      auto& slot = pages_[pg];
+      if (!slot) {
+        slot = take_page();
+        slot->perm = meta.first;
+        slot->kernel_only = meta.second;
+      }
+    }
+  }
+  bump_ = image_bump_;
 }
 
 void AddressSpace::protect(Addr start, std::uint64_t size, std::uint8_t perm) {
@@ -145,7 +213,9 @@ std::uint8_t AddressSpace::read_u8(Addr a, Access m) const {
 }
 
 void AddressSpace::write_u8(Addr a, std::uint8_t v, Access m) {
-  page_for(a, m, true)->data[a % kPageSize] = v;
+  Page* p = page_for(a, m, true);
+  p->dirty = true;
+  p->data[a % kPageSize] = v;
 }
 
 // Multi-byte accessors are assembled byte-wise so values spanning a page

@@ -25,6 +25,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/fault.h"
 
@@ -59,6 +60,11 @@ enum class Access : std::uint8_t { kUser, kKernel };
 struct Page {
   std::uint8_t perm = kPermRW;
   bool kernel_only = false;
+  /// Written since the owning space's checkpoint().  The restore() fast path
+  /// re-zeroes exactly the dirty pages, so an untouched 64 KiB stack costs
+  /// nothing to recycle.  Every mutation funnels through
+  /// AddressSpace::write_u8, the one place that sets this.
+  bool dirty = false;
   std::array<std::uint8_t, kPageSize> data{};
 };
 
@@ -110,6 +116,24 @@ class AddressSpace {
   void map(Addr start, std::uint64_t size, std::uint8_t perm,
            bool kernel_only = false);
   void unmap(Addr start, std::uint64_t size);
+
+  /// Returns the space to its just-constructed state (no mappings, bump
+  /// allocator rewound).  The dirty set is exactly the live page table, and
+  /// the pages it held go to a free list for reuse by later map() calls —
+  /// recycling a process costs its own mappings, not a rebuild of the world.
+  void reset();
+
+  /// Captures the current mapping set (page numbers + permissions) as the
+  /// image restore() returns to.  Checkpointed pages must be all-zero at
+  /// capture time — SimProcess checkpoints right after mapping its fresh
+  /// stack — so restore() can re-zero dirty pages instead of keeping copies.
+  void checkpoint();
+  /// Returns to the checkpoint() image in cost proportional to what the
+  /// case dirtied: pages mapped since are retired, checkpointed pages that
+  /// were written are re-zeroed (untouched ones cost nothing), permissions
+  /// are squared back, and the bump allocator rewinds.  Without a prior
+  /// checkpoint this degenerates to reset().
+  void restore();
   void protect(Addr start, std::uint64_t size, std::uint8_t perm);
   bool is_mapped(Addr a) const noexcept;
   /// Permission byte of the page containing `a`, or kPermNone if unmapped.
@@ -172,12 +196,25 @@ class AddressSpace {
   Page* page_for(Addr a, Access m, bool write) const;
   [[noreturn]] void fault(FaultType t, Addr a, bool write) const;
   void check_alignment(Addr a, std::uint64_t size, bool write) const;
+  /// A zeroed page, reusing a free-listed one when available.
+  std::unique_ptr<Page> take_page();
+  void retire_page(std::unique_ptr<Page> p);
+
+  static constexpr Addr kBumpBase = 0x0010'0000;  // harness allocation region
+  /// Free-list cap: a test case maps a few dozen pages (stack + argument
+  /// buffers); anything beyond this is an outlier not worth caching.
+  static constexpr std::size_t kMaxFreePages = 256;
 
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  std::vector<std::unique_ptr<Page>> free_pages_;
+  /// page number -> (perm, kernel_only) at checkpoint time.
+  std::unordered_map<Addr, std::pair<std::uint8_t, bool>> image_;
+  bool has_image_ = false;
+  Addr image_bump_ = kBumpBase;
   SharedArena* arena_;
   trace::TraceSink* trace_ = nullptr;
   bool strict_align_;
-  Addr bump_ = 0x0010'0000;  // start of the harness allocation region
+  Addr bump_ = kBumpBase;
 };
 
 }  // namespace ballista::sim

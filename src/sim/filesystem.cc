@@ -4,8 +4,83 @@
 
 namespace ballista::sim {
 
+namespace {
+
+/// Independent deep copy of a node tree (checkpoint images must not share
+/// structure with the live tree, or mutations would corrupt the oracle).
+std::shared_ptr<FsNode> clone_tree(const FsNode& node) {
+  auto copy = std::make_shared<FsNode>(node.name(), node.is_dir());
+  copy->data() = node.data();
+  copy->read_only = node.read_only;
+  copy->hidden = node.hidden;
+  copy->times = node.times;
+  copy->nlink = node.nlink;
+  for (const auto& [name, child] : node.children())
+    copy->children().emplace(name, clone_tree(*child));
+  return copy;
+}
+
+/// Field-by-field equality of a live tree against a checkpoint image.  Walks
+/// at most the smaller tree plus one child-count check, so the cost is
+/// bounded by the canonical tree when clean and bails at the first
+/// discrepancy when dirty.
+bool tree_matches(const FsNode& live, const FsNode& image) {
+  if (live.name() != image.name() || live.is_dir() != image.is_dir())
+    return false;
+  if (live.read_only != image.read_only || live.hidden != image.hidden ||
+      live.nlink != image.nlink)
+    return false;
+  if (live.times.creation != image.times.creation ||
+      live.times.last_access != image.times.last_access ||
+      live.times.last_write != image.times.last_write)
+    return false;
+  if (live.data() != image.data()) return false;
+  if (live.children().size() != image.children().size()) return false;
+  auto li = live.children().begin();
+  auto ii = image.children().begin();
+  for (; ii != image.children().end(); ++li, ++ii) {
+    if (li->first != ii->first) return false;
+    if (!tree_matches(*li->second, *ii->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 FileSystem::FileSystem() : root_(std::make_shared<FsNode>("", true)) {
-  reset_fixture();
+  build_fixture();
+  checkpoint();
+}
+
+void FileSystem::checkpoint() { image_ = clone_tree(*root_); }
+
+bool FileSystem::fixture_clean() const {
+  return image_ != nullptr && tree_matches(*root_, *image_);
+}
+
+bool FileSystem::restore_fixture() {
+  if (fixture_clean()) {
+    ++fast_restores_;
+    return false;
+  }
+  rebuild_fixture();
+  return true;
+}
+
+void FileSystem::rebuild_fixture() {
+  ++rebuilds_;
+  // The root node object must persist (open DirectoryObjects and cwd walks
+  // reach the tree through it), so its own metadata is restored in place —
+  // chmod("/", ...)-style damage must not outlive the rebuild, or the "known
+  // disk image" each test case starts from would depend on what ran before.
+  root_->children().clear();
+  root_->data() = image_->data();
+  root_->read_only = image_->read_only;
+  root_->hidden = image_->hidden;
+  root_->times = image_->times;
+  root_->nlink = image_->nlink;
+  for (const auto& [name, child] : image_->children())
+    root_->children().emplace(name, clone_tree(*child));
 }
 
 ParsedPath FileSystem::parse(std::string_view path, const ParsedPath& cwd) const {
@@ -164,16 +239,7 @@ bool FileSystem::rename(const ParsedPath& from, const ParsedPath& to) {
   return true;
 }
 
-void FileSystem::reset_fixture() {
-  // Restore the root node's own metadata too: chmod("/", ...) or
-  // SetFileAttributes on the root must not outlive the fixture reset, or the
-  // "known disk image" each test case starts from would depend on what ran
-  // before it (and campaign results would depend on shard scheduling).
-  root_->children().clear();
-  root_->read_only = false;
-  root_->hidden = false;
-  root_->times = FileTimes{};
-  root_->nlink = 1;
+void FileSystem::build_fixture() {
   ParsedPath scratch;
   scratch.components = {"tmp"};
   create_dir(scratch);

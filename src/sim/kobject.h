@@ -258,6 +258,15 @@ class HandleTable {
   /// mode allocates multiples of 4 starting at 4.
   void set_posix_numbering(bool on) noexcept { posix_numbering_ = on; }
 
+  /// Drops every handle and rewinds handle numbering to the fresh-table
+  /// state (the numbering mode persists).  Cost is the live handle count —
+  /// the table itself is the dirty set.  Part of SimProcess::recycle's
+  /// pristine contract.
+  void reset() noexcept {
+    table_.clear();
+    next_win32_ = 4;
+  }
+
  private:
   std::map<std::uint64_t, std::shared_ptr<KernelObject>> table_;
   std::uint64_t next_win32_ = 4;

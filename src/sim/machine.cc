@@ -8,27 +8,34 @@ Machine::Machine(OsVariant variant) : pers_(personality_for(variant)) {
   trace_.bind_clock(&ticks_);
 }
 
-std::unique_ptr<SimProcess> Machine::create_process() {
+std::unique_ptr<SimProcess> Machine::acquire_process() {
   assert(!crashed_ && "cannot start a task on a crashed machine");
-  auto proc = std::make_unique<SimProcess>(
-      *this, next_pid_++, pers_.has_shared_arena ? &arena_ : nullptr,
-      pers_.strict_alignment, pers_.api == ApiFlavor::kPosix);
-  proc->mem().set_trace(&trace_);
-
-  // Standard streams: three pipe-backed stream objects.
-  auto make_std = [&](bool /*writable*/) {
-    return std::make_shared<PipeObject>();
-  };
-  if (pers_.api == ApiFlavor::kPosix) {
-    proc->std_in = proc->handles().insert(make_std(false));
-    proc->std_out = proc->handles().insert(make_std(true));
-    proc->std_err = proc->handles().insert(make_std(true));
+  std::unique_ptr<SimProcess> proc;
+  if (!process_pool_.empty() && policy_ == ResetPolicy::kIncremental) {
+    proc = std::move(process_pool_.back());
+    process_pool_.pop_back();
+    proc->recycle(next_pid_++);
+    ++recycled_;
   } else {
-    proc->std_in = proc->handles().insert(make_std(false));
-    proc->std_out = proc->handles().insert(make_std(true));
-    proc->std_err = proc->handles().insert(make_std(true));
+    proc = std::make_unique<SimProcess>(
+        *this, next_pid_++, pers_.has_shared_arena ? &arena_ : nullptr,
+        pers_.strict_alignment, pers_.api == ApiFlavor::kPosix);
+    proc->mem().set_trace(&trace_);
+    ++built_;
   }
+
+  // Standard streams: three pipe-backed stream objects (POSIX numbering gives
+  // fds 0/1/2, Win32 numbering handles 4/8/12 — decided by the table).
+  proc->std_in = proc->handles().insert(std::make_shared<PipeObject>());
+  proc->std_out = proc->handles().insert(std::make_shared<PipeObject>());
+  proc->std_err = proc->handles().insert(std::make_shared<PipeObject>());
   return proc;
+}
+
+void Machine::release_process(std::unique_ptr<SimProcess> proc) {
+  if (proc == nullptr || policy_ != ResetPolicy::kIncremental) return;
+  if (process_pool_.size() < kMaxPooledProcesses)
+    process_pool_.push_back(std::move(proc));
 }
 
 void Machine::kernel_enter() {
@@ -67,21 +74,42 @@ void Machine::age_arena(int fuse_entries) {
   fuse_remaining_ = fuse_entries;
 }
 
-void Machine::reboot() {
+void Machine::checkpoint() { fs_.checkpoint(); }
+
+void Machine::restore(RestoreLevel level) {
+  if (level == RestoreLevel::kCaseReset) {
+    // Between-cases cleanup on a live machine: the paper's harness removes
+    // lingering state (temporary files) so constructors see a known disk
+    // image.  A crashed machine needs at least kReboot.
+    assert(!crashed_ && "kCaseReset on a crashed machine; use kReboot");
+    if (policy_ == ResetPolicy::kAlwaysRebuild)
+      fs_.rebuild_fixture();
+    else
+      fs_.restore_fixture();
+    return;
+  }
+
+  // kReboot and above: clear the crash, the fuse and the shared arena, and
+  // restore the disk.  The reboot event lands in the surviving trace ring, so
+  // a post-reboot tail still shows the death.
   crashed_ = false;
   panic_kind_ = PanicKind::kNone;
   fuse_remaining_ = -1;
   arena_.clear();
-  fs_.reset_fixture();
+  if (policy_ == ResetPolicy::kAlwaysRebuild)
+    fs_.rebuild_fixture();
+  else
+    fs_.restore_fixture();
   trace_.emit(trace::reboot_event(panic_count_));
-}
 
-void Machine::reset() {
-  reboot();
-  ticks_ = kBootTicks;
-  next_pid_ = kFirstPid;
-  panic_count_ = 0;
-  trace_.clear();
+  if (level == RestoreLevel::kFullReset) {
+    // Pristine post-construction boot state: also the clock, the pid
+    // counter, the panic count and the trace sink (ring + counters).
+    ticks_ = kBootTicks;
+    next_pid_ = kFirstPid;
+    panic_count_ = 0;
+    trace_.clear();
+  }
 }
 
 }  // namespace ballista::sim

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/trace.h"
 #include "sim/addrspace.h"
@@ -14,6 +15,30 @@
 #include "sim/process.h"
 
 namespace ballista::sim {
+
+/// How much of the machine a restore() returns to its checkpoint.  Each level
+/// includes everything below it (DESIGN.md §8):
+///   kCaseReset  — between test cases on a live machine: the disk fixture
+///                 (verify-or-rebuild against the checkpoint image).  Process
+///                 state needs no restoring — every case runs in a process
+///                 acquired pristine from the pool.
+///   kReboot     — after a kernel panic: crash flag, panic kind, corruption
+///                 fuse, the shared arena, plus the disk fixture.  The tick
+///                 clock, pid counter, panic count and the trace ring survive
+///                 (a post-reboot trace tail still shows the death), exactly
+///                 like power-cycling the box.
+///   kFullReset  — pristine post-construction boot state: kReboot plus ticks,
+///                 pid counter, panic count and the trace sink.  A restored
+///                 machine is indistinguishable from a freshly constructed
+///                 one; MachinePool checkout uses this level.
+enum class RestoreLevel : std::uint8_t { kCaseReset, kReboot, kFullReset };
+
+/// kIncremental is the production fast path: verified fixture restores and
+/// recycled processes.  kAlwaysRebuild reproduces the pre-lifecycle cost
+/// model (unconditional fixture rebuild, a fresh process per case) — kept so
+/// bench_case_reset can measure the gap and the restore-correctness property
+/// tests can difference the two policies on identical workloads.
+enum class ResetPolicy : std::uint8_t { kIncremental, kAlwaysRebuild };
 
 class Machine {
  public:
@@ -45,8 +70,44 @@ class Machine {
   }
   int panic_count() const noexcept { return panic_count_; }
 
-  /// Creates a fresh task.  Must not be called on a crashed machine.
-  std::unique_ptr<SimProcess> create_process();
+  // --- machine-state lifecycle ----------------------------------------------
+
+  /// Re-captures the current disk state as the image restore() returns to.
+  /// The constructor checkpoints the canonical fixture automatically; the
+  /// campaign engine never re-checkpoints (the .blog diff oracle depends on
+  /// every case starting from the boot image).
+  void checkpoint();
+
+  /// The one way to return the machine to a known state; every reset path
+  /// (per-case cleanup, post-panic reboot, pool checkout) funnels through
+  /// here.  Cost is proportional to what was actually dirtied — a clean
+  /// fixture verifies instead of rebuilding, pooled processes recycle their
+  /// own dirt on acquire.  kCaseReset must not be used on a crashed machine
+  /// (that state needs at least kReboot).
+  void restore(RestoreLevel level);
+
+  /// Convenience names for the two historical entry points; both are thin
+  /// forwards so there is exactly one reset implementation.
+  void reboot() { restore(RestoreLevel::kReboot); }
+  void reset() { restore(RestoreLevel::kFullReset); }
+
+  void set_reset_policy(ResetPolicy p) noexcept { policy_ = p; }
+  ResetPolicy reset_policy() const noexcept { return policy_; }
+
+  /// A pristine task, recycled from the pool when possible (fresh pid either
+  /// way).  Must not be called on a crashed machine.
+  std::unique_ptr<SimProcess> acquire_process();
+  /// Returns a finished task to the pool for recycling.  Any dirt it carries
+  /// (handles, mappings, env/cwd edits) is settled on the next acquire.
+  void release_process(std::unique_ptr<SimProcess> proc);
+
+  /// Historical name for acquire_process(); callers that drop the returned
+  /// process instead of releasing it merely forgo recycling.
+  std::unique_ptr<SimProcess> create_process() { return acquire_process(); }
+
+  /// Lifecycle telemetry (tests and bench_case_reset).
+  std::uint64_t processes_recycled() const noexcept { return recycled_; }
+  std::uint64_t processes_built() const noexcept { return built_; }
 
   /// Called on every system-call entry.  Burns the corruption fuse: once a
   /// stray kernel write has landed in the shared arena, the machine survives
@@ -62,16 +123,6 @@ class Machine {
   /// (low system area: interrupt vectors, VMM structures) kill the machine
   /// now; others arm the deferred fuse.
   void note_arena_corruption(Addr where, bool critical);
-
-  /// Clears the crash, the arena, the fuse and restores the disk fixture.
-  /// The trace ring survives, so a post-reboot tail still shows the death.
-  void reboot();
-
-  /// Restores pristine post-construction boot state: reboot() plus the tick
-  /// counter, pid counter, panic count and trace sink.  A reset machine is
-  /// indistinguishable from a freshly constructed one; the campaign engine's
-  /// MachinePool uses this to reuse machines across shards.
-  void reset();
 
   /// Pre-ages the machine for load testing (paper §5 future work; cf. the
   /// intro's observation that Windows machines needed periodic reboots):
@@ -95,6 +146,15 @@ class Machine {
   int panic_count_ = 0;
   /// -1 = disarmed; otherwise kernel entries remaining until panic.
   int fuse_remaining_ = -1;
+
+  ResetPolicy policy_ = ResetPolicy::kIncremental;
+  /// Retired tasks awaiting recycling.  One process is alive per case, so the
+  /// pool stays tiny; the cap only guards against callers that acquire many
+  /// processes concurrently and release them all at once.
+  static constexpr std::size_t kMaxPooledProcesses = 4;
+  std::vector<std::unique_ptr<SimProcess>> process_pool_;
+  std::uint64_t recycled_ = 0;
+  std::uint64_t built_ = 0;
 };
 
 }  // namespace ballista::sim

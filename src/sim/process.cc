@@ -4,6 +4,28 @@
 
 namespace ballista::sim {
 
+namespace {
+
+// A modest stack so functions that "use" stack space have something real to
+// overflow (guard page below).
+constexpr Addr kStackTop = 0x7ff0'0000;
+constexpr std::uint64_t kStackSize = 64 * 1024;
+
+/// The environment every fresh (or recycled) task starts with.  Shared const
+/// canonical copy: recycle compares against it and only pays for a rebuild
+/// when the previous case actually edited the environment.
+const std::map<std::string, std::string>& default_env() {
+  static const std::map<std::string, std::string> env = {
+      {"PATH", "/bin:/usr/bin"},
+      {"HOME", "/tmp"},
+      {"TMP", "/tmp"},
+      {"TEMP", "/tmp"},
+      {"BALLISTA", "1"}};
+  return env;
+}
+
+}  // namespace
+
 SimProcess::SimProcess(Machine& machine, std::uint64_t pid, SharedArena* arena,
                        bool strict_align, bool posix_fd_numbering)
     : machine_(machine),
@@ -12,23 +34,52 @@ SimProcess::SimProcess(Machine& machine, std::uint64_t pid, SharedArena* arena,
       cwd_(FileSystem::root_path()),
       next_tid_(pid * 1000 + 1) {
   handles_.set_posix_numbering(posix_fd_numbering);
-
-  // A modest stack so functions that "use" stack space have something real to
-  // overflow (guard page below).
-  constexpr Addr kStackTop = 0x7ff0'0000;
-  constexpr std::uint64_t kStackSize = 64 * 1024;
   mem_.map(kStackTop - kStackSize, kStackSize, kPermRW);
+  mem_.checkpoint();  // the pristine image recycle() restores to
 
   main_thread_ = std::make_shared<ThreadObject>(next_tid_++, pid_);
   self_object_ = std::make_shared<ProcessObject>(pid_);
   default_heap_ = std::make_shared<HeapObject>(1 << 20, 0);
 
-  env_ = {{"PATH", "/bin:/usr/bin"},
-          {"HOME", "/tmp"},
-          {"TMP", "/tmp"},
-          {"TEMP", "/tmp"},
-          {"BALLISTA", "1"}};
+  env_ = default_env();
   cwd_.components = {"tmp"};
+}
+
+void SimProcess::recycle(std::uint64_t pid) {
+  pid_ = pid;
+  next_tid_ = pid * 1000 + 1;
+
+  // Back to the boot image in cost proportional to the dirt: pages mapped
+  // by the case are retired, stack pages it wrote are re-zeroed, untouched
+  // stack pages cost nothing.
+  mem_.restore();
+  handles_.reset();
+
+  last_error_ = 0;
+  errno_ = 0;
+
+  // Environment and cwd: verify-or-rebuild, so an untouched environment (the
+  // overwhelmingly common case) costs five string compares, not five map
+  // node allocations.
+  if (env_ != default_env()) env_ = default_env();
+  if (!cwd_.valid || cwd_.components.size() != 1 ||
+      cwd_.components[0] != "tmp") {
+    cwd_ = FileSystem::root_path();
+    cwd_.components = {"tmp"};
+  }
+
+  // Kernel objects a case can mutate (thread context, priorities, exit
+  // codes, heap bookkeeping) are rebuilt rather than scrubbed — three small
+  // allocations, versus auditing every mutable field.
+  main_thread_ = std::make_shared<ThreadObject>(next_tid_++, pid_);
+  self_object_ = std::make_shared<ProcessObject>(pid_);
+  default_heap_ = std::make_shared<HeapObject>(1 << 20, 0);
+
+  // CRT state lives in the (now reset) simulated memory; the clib layer
+  // rebuilds it lazily at identical addresses (the bump allocator rewound).
+  crt_state_.reset();
+
+  std_in = std_out = std_err = 0;
 }
 
 std::shared_ptr<ThreadObject> SimProcess::spawn_thread() {

@@ -28,6 +28,14 @@ class SimProcess {
   SimProcess(const SimProcess&) = delete;
   SimProcess& operator=(const SimProcess&) = delete;
 
+  /// Returns the task to freshly-constructed state under a new pid, in cost
+  /// proportional to what the previous case dirtied: mappings and handles
+  /// are their own dirty sets, env/cwd verify against the canonical defaults
+  /// before rebuilding.  Machine::acquire_process calls this when it hands
+  /// out a pooled process; a recycled task is observationally identical to a
+  /// new one (same addresses, same handle values, same defaults).
+  void recycle(std::uint64_t pid);
+
   Machine& machine() noexcept { return machine_; }
   std::uint64_t pid() const noexcept { return pid_; }
 

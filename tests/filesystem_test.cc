@@ -108,12 +108,30 @@ TEST_F(FsTest, RenameRejectsMovingADirectoryIntoItsOwnSubtree) {
   EXPECT_TRUE(fs.rename(p("/tmp/a"), p("/tmp/b")));
 }
 
-TEST_F(FsTest, ResetFixtureRestoresCanonicalTree) {
+TEST_F(FsTest, RestoreFixtureRebuildsCanonicalTree) {
   fs.create_file(p("/tmp/junk"), true, false);
   fs.resolve(p("/tmp/fixture.dat"))->data().clear();
-  fs.reset_fixture();
+  EXPECT_TRUE(fs.restore_fixture());  // dirtied -> full rebuild
   EXPECT_EQ(fs.resolve(p("/tmp/junk")), nullptr);
   EXPECT_FALSE(fs.resolve(p("/tmp/fixture.dat"))->data().empty());
+}
+
+TEST_F(FsTest, RestoreFixtureIsFreeWhenClean) {
+  // A clean tree verifies against the checkpoint image instead of rebuilding:
+  // node identity survives, so open handles keep referencing live nodes.
+  auto before = fs.resolve(p("/tmp/fixture.dat"));
+  const auto rebuilds = fs.fixture_rebuilds();
+  EXPECT_FALSE(fs.restore_fixture());
+  EXPECT_EQ(fs.fixture_rebuilds(), rebuilds);
+  EXPECT_GE(fs.fixture_fast_restores(), 1u);
+  EXPECT_EQ(fs.resolve(p("/tmp/fixture.dat")), before);
+}
+
+TEST_F(FsTest, RestoreFixtureCatchesMetadataOnlyDamage) {
+  // Dirty-bit schemes miss plain-field writes; the verify pass must not.
+  fs.resolve(p("/tmp/readonly.dat"))->read_only = false;
+  EXPECT_TRUE(fs.restore_fixture());
+  EXPECT_TRUE(fs.resolve(p("/tmp/readonly.dat"))->read_only);
 }
 
 TEST_F(FsTest, ResetFixtureRestoresRootMetadata) {
@@ -123,7 +141,7 @@ TEST_F(FsTest, ResetFixtureRestoresRootMetadata) {
   // them — and campaign results depend on shard scheduling.
   fs.root()->read_only = true;
   fs.root()->hidden = true;
-  fs.reset_fixture();
+  EXPECT_TRUE(fs.restore_fixture());
   EXPECT_FALSE(fs.root()->read_only);
   EXPECT_FALSE(fs.root()->hidden);
 }

@@ -8,11 +8,14 @@
 //   ballista_cli crashes    [--os NAME] [--cap N]
 //   ballista_cli tables     [--cap N]        (tables 1-3 + figures 1-2)
 //   ballista_cli diff       BASELINE.blog NEW.blog
+//   ballista_cli stats      FILE.blog
 //
 // OS names: win95 win98 win98se nt4 win2000 wince linux (default: all where
 // a single OS is not required).  See README.md for the full flag table.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 
@@ -142,6 +145,8 @@ int usage() {
       "  crashes [--os NAME] [--cap N] [--jobs N] Catastrophic function lists\n"
       "  tables [--cap N] [--jobs N]              all paper tables and figures\n"
       "  diff BASELINE.blog NEW.blog              cross-run regression diff\n"
+      "  stats FILE.blog                          sealed-log summary (CRASH\n"
+      "                                           histogram, worst MuTs)\n"
       "OS names: win95 win98 win98se nt4 win2000 wince linux\n"
       "--jobs N runs each campaign on N worker machines; results are\n"
       "identical for every N (deterministic sharded engine).\n"
@@ -317,6 +322,78 @@ int cmd_diff(const harness::World& world, const Args& a) {
   return d.identical() ? 0 : 1;
 }
 
+// Summarizes a sealed campaign log: variant, case volume, a CRASH-severity
+// histogram over case codes, and the worst-failing MuTs.  Pure reader — the
+// log is decoded by the same store::load_result path `diff` and `--baseline`
+// use, so a log any of them accepts is one `stats` accepts.
+int cmd_stats(const harness::World& world, const Args& a) {
+  if (a.positional.size() != 1) {
+    std::cerr << "stats takes exactly one .blog file\n";
+    return usage();
+  }
+  const store::StoreRun run = store::load_result(world.registry, a.positional[0]);
+  if (!run.ok) {
+    std::cerr << run.error << "\n";
+    return 2;
+  }
+  const core::CampaignResult& r = run.result;
+
+  std::uint64_t cases = 0, pass = 0, abort = 0, restart = 0, silent = 0,
+                hindering = 0, catastrophic = 0;
+  for (const core::MutStats& s : r.stats) {
+    cases += s.executed;
+    pass += s.passes;
+    abort += s.aborts;
+    restart += s.restarts;
+    silent += s.silent_candidates;
+    hindering += s.hindering;
+    if (s.catastrophic) ++catastrophic;
+  }
+  std::cout << a.positional[0] << ": " << sim::variant_name(r.variant) << ", "
+            << r.stats.size() << " MuTs, " << cases << " cases, "
+            << r.reboots << " reboot(s)\n";
+
+  const auto pct = [&](std::uint64_t n) {
+    return cases == 0 ? 0.0 : 100.0 * static_cast<double>(n) / cases;
+  };
+  std::cout << "CRASH severity histogram (cases; Catastrophic counts MuTs):\n"
+            << std::fixed << std::setprecision(1);
+  std::cout << "  Catastrophic  " << std::setw(6) << catastrophic << " MuT(s)\n";
+  std::cout << "  Restart       " << std::setw(6) << restart << "  ("
+            << pct(restart) << "%)\n";
+  std::cout << "  Abort         " << std::setw(6) << abort << "  ("
+            << pct(abort) << "%)\n";
+  std::cout << "  Silent cand.  " << std::setw(6) << silent << "  ("
+            << pct(silent) << "%)\n";
+  std::cout << "  Hindering     " << std::setw(6) << hindering << "  ("
+            << pct(hindering) << "%)\n";
+  std::cout << "  Pass          " << std::setw(6) << pass << "  ("
+            << pct(pass) << "%)\n";
+
+  std::vector<const core::MutStats*> worst;
+  for (const core::MutStats& s : r.stats)
+    if (s.catastrophic || s.aborts + s.restarts > 0) worst.push_back(&s);
+  std::sort(worst.begin(), worst.end(),
+            [](const core::MutStats* x, const core::MutStats* y) {
+              if (x->catastrophic != y->catastrophic) return x->catastrophic;
+              const std::uint64_t xf = x->aborts + x->restarts;
+              const std::uint64_t yf = y->aborts + y->restarts;
+              if (xf != yf) return xf > yf;
+              return x->mut->name < y->mut->name;
+            });
+  constexpr std::size_t kTopN = 10;
+  if (worst.size() > kTopN) worst.resize(kTopN);
+  if (!worst.empty()) std::cout << "worst MuTs:\n";
+  for (const core::MutStats* s : worst) {
+    std::cout << "  " << s->mut->name << "  " << s->aborts + s->restarts << "/"
+              << s->executed << " failing";
+    if (s->catastrophic)
+      std::cout << "  CATASTROPHIC (" << s->crash_detail << ")";
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int cmd_repro(const harness::World& world, const Args& a) {
   if (!a.os || a.mut.empty()) return usage();
   const core::MuT* mut = world.registry.find(a.mut);
@@ -395,7 +472,7 @@ int cmd_tables(const harness::World& world, const Args& a) {
 int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
   if (!a.ok) return usage();
-  if (a.command != "diff" && !a.positional.empty()) {
+  if (a.command != "diff" && a.command != "stats" && !a.positional.empty()) {
     std::cerr << "unexpected operand '" << a.positional.front() << "'\n";
     return usage();
   }
@@ -407,5 +484,6 @@ int main(int argc, char** argv) {
   if (a.command == "crashes") return cmd_crashes(*world, a);
   if (a.command == "tables") return cmd_tables(*world, a);
   if (a.command == "diff") return cmd_diff(*world, a);
+  if (a.command == "stats") return cmd_stats(*world, a);
   return usage();
 }
