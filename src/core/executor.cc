@@ -69,6 +69,10 @@ CaseResult Executor::run_case(const MuT& mut,
   proc->set_errno(0);
 
   CallContext ctx(machine_, *proc, mut, args);
+  // Mutation points exist only while the module under test runs: harness
+  // work (tuple materialization above, process recycling, fixture restores)
+  // must never count as a persistence point.
+  machine_.mutations().open_window();
   try {
     machine_.kernel_enter();
     const CallOutcome out = mut.impl(ctx);
@@ -101,6 +105,7 @@ CaseResult Executor::run_case(const MuT& mut,
     result.fault = f.fault().type;
     result.detail = f.what();
   }
+  machine_.mutations().close_window();
   sink.emit(trace::classified_event(result.outcome, result.fault,
                                     result.success_no_error,
                                     result.wrong_error));

@@ -20,6 +20,8 @@ std::string_view event_kind_name(EventKind k) noexcept {
     case EventKind::kShardStart: return "shard_start";
     case EventKind::kShardEnd: return "shard_end";
     case EventKind::kCaseClassified: return "case_classified";
+    case EventKind::kMutationPoint: return "mutation_point";
+    case EventKind::kFaultCut: return "fault_cut";
   }
   return "unknown";
 }
@@ -106,6 +108,15 @@ std::string render(const TraceEvent& ev) {
         os << " (" << sim::fault_type_name(ev.classified.fault) << ")";
       if (ev.classified.success_no_error) os << " [no error reported]";
       if (ev.classified.wrong_error) os << " [wrong error code]";
+      break;
+    case EventKind::kMutationPoint:
+      os << "mutation point #" << ev.mutation.seq << " "
+         << sim::mutation_kind_name(ev.mutation.mkind)
+         << " detail=" << hex(ev.mutation.detail);
+      break;
+    case EventKind::kFaultCut:
+      os << "fault injection: cut at mutation point #" << ev.fault_cut.seq
+         << " (" << sim::mutation_kind_name(ev.fault_cut.mkind) << ")";
       break;
   }
   return os.str();

@@ -33,6 +33,7 @@
 
 #include "core/classify.h"
 #include "sim/fault.h"
+#include "sim/mutation.h"
 
 namespace ballista::trace {
 
@@ -49,9 +50,11 @@ enum class EventKind : std::uint8_t {
   kShardStart,
   kShardEnd,
   kCaseClassified,
+  kMutationPoint,
+  kFaultCut,
 };
 
-inline constexpr std::size_t kEventKindCount = 12;
+inline constexpr std::size_t kEventKindCount = 14;
 
 /// Stable lower_snake names, used for the --event-counters JSON keys.
 std::string_view event_kind_name(EventKind k) noexcept;
@@ -122,6 +125,15 @@ struct TraceEvent {
       bool success_no_error;
       bool wrong_error;
     } classified;
+    struct {
+      sim::MutationKind mkind;
+      std::uint64_t seq;     // 1-based persistence-point sequence number
+      std::uint64_t detail;  // page number / path hash / handle value
+    } mutation;
+    struct {
+      sim::MutationKind mkind;  // kind of the point the cut landed on
+      std::uint64_t seq;
+    } fault_cut;
   };
 
   TraceEvent() : syscall_enter{-1} {}
@@ -164,6 +176,13 @@ struct TraceEvent {
                a.classified.fault == b.classified.fault &&
                a.classified.success_no_error == b.classified.success_no_error &&
                a.classified.wrong_error == b.classified.wrong_error;
+      case EventKind::kMutationPoint:
+        return a.mutation.mkind == b.mutation.mkind &&
+               a.mutation.seq == b.mutation.seq &&
+               a.mutation.detail == b.mutation.detail;
+      case EventKind::kFaultCut:
+        return a.fault_cut.mkind == b.fault_cut.mkind &&
+               a.fault_cut.seq == b.fault_cut.seq;
     }
     return false;
   }
@@ -256,6 +275,23 @@ inline TraceEvent classified_event(core::Outcome outcome, sim::FaultType fault,
   TraceEvent e;
   e.kind = EventKind::kCaseClassified;
   e.classified = {outcome, fault, success_no_error, wrong_error};
+  return e;
+}
+
+inline TraceEvent mutation_point_event(sim::MutationKind kind,
+                                       std::uint64_t seq,
+                                       std::uint64_t detail) noexcept {
+  TraceEvent e;
+  e.kind = EventKind::kMutationPoint;
+  e.mutation = {kind, seq, detail};
+  return e;
+}
+
+inline TraceEvent fault_cut_event(sim::MutationKind kind,
+                                  std::uint64_t seq) noexcept {
+  TraceEvent e;
+  e.kind = EventKind::kFaultCut;
+  e.fault_cut = {kind, seq};
   return e;
 }
 

@@ -175,7 +175,7 @@ CallOutcome do_chmod(CallContext& ctx) {
   if (!pr.path) return pr.fail;
   auto node = node_at(ctx, *pr.path);
   if (node == nullptr) return ctx.posix_fail(ENOENT);
-  node->read_only = (ctx.arg32(1) & 0200) == 0;
+  fs_of(ctx).set_read_only(*node, (ctx.arg32(1) & 0200) == 0);
   return ok(0);
 }
 
@@ -183,7 +183,7 @@ CallOutcome do_fchmod(CallContext& ctx) {
   auto fc = check_fd(ctx, ctx.arg(0), sim::ObjectKind::kFile);
   if (fc.fail) return *fc.fail;
   auto* f = static_cast<sim::FileObject*>(fc.obj.get());
-  f->node()->read_only = (ctx.arg32(1) & 0200) == 0;
+  fs_of(ctx).set_read_only(*f->node(), (ctx.arg32(1) & 0200) == 0);
   return ok(0);
 }
 
@@ -215,7 +215,7 @@ CallOutcome do_utime(CallContext& ctx) {
     std::uint32_t t = 0;
     const MemStatus st = ctx.k_read_u32(times, &t);
     if (st != MemStatus::kOk) return ctx.posix_mem_fail(st);
-    node->times.last_write = t;
+    fs_of(ctx).set_last_write(*node, t);
   }
   return ok(0);
 }
@@ -276,7 +276,7 @@ CallOutcome do_symlink(CallContext& ctx) {
       fs.create_file(fs.parse(*linkpath.path, ctx.proc().cwd()), true, false);
   if (node == nullptr) return ctx.posix_fail(EEXIST);
   node->data().assign(target.path->begin(), target.path->end());
-  node->hidden = true;  // marks "symlink" in this model
+  fs.set_hidden(*node, true);  // marks "symlink" in this model
   return ok(0);
 }
 

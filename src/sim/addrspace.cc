@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/trace.h"
+#include "sim/mutation.h"
 
 namespace ballista::sim {
 
@@ -37,6 +38,8 @@ void AddressSpace::retire_page(std::unique_ptr<Page> p) {
 
 void AddressSpace::map(Addr start, std::uint64_t size, std::uint8_t perm,
                        bool kernel_only) {
+  if (hub_ != nullptr)
+    hub_->notify(MutationKind::kPageMap, page_of(start));
   const Addr first = page_of(start);
   const Addr last = page_of(start + (size ? size - 1 : 0));
   for (Addr pg = first; pg <= last; ++pg) {
@@ -48,6 +51,8 @@ void AddressSpace::map(Addr start, std::uint64_t size, std::uint8_t perm,
 }
 
 void AddressSpace::unmap(Addr start, std::uint64_t size) {
+  if (hub_ != nullptr)
+    hub_->notify(MutationKind::kPageUnmap, page_of(start));
   const Addr first = page_of(start);
   const Addr last = page_of(start + (size ? size - 1 : 0));
   for (Addr pg = first; pg <= last; ++pg) {
@@ -109,6 +114,8 @@ void AddressSpace::restore() {
 }
 
 void AddressSpace::protect(Addr start, std::uint64_t size, std::uint8_t perm) {
+  if (hub_ != nullptr)
+    hub_->notify(MutationKind::kPageProtect, page_of(start));
   const Addr first = page_of(start);
   const Addr last = page_of(start + (size ? size - 1 : 0));
   for (Addr pg = first; pg <= last; ++pg) {
@@ -214,6 +221,9 @@ std::uint8_t AddressSpace::read_u8(Addr a, Access m) const {
 
 void AddressSpace::write_u8(Addr a, std::uint8_t v, Access m) {
   Page* p = page_for(a, m, true);
+  // Announce after the access check (a faulting store mutates nothing) and
+  // before applying, so an armed cut leaves this very byte unwritten.
+  if (hub_ != nullptr) hub_->notify(MutationKind::kPageWrite, page_of(a));
   p->dirty = true;
   p->data[a % kPageSize] = v;
 }

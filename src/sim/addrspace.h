@@ -35,6 +35,8 @@ class TraceSink;
 
 namespace ballista::sim {
 
+class MutationHub;
+
 inline constexpr Addr kPageSize = 4096;
 inline constexpr Addr kLowSystemEnd = 0x0001'0000;
 inline constexpr Addr kUserBase = 0x0001'0000;
@@ -189,6 +191,11 @@ class AddressSpace {
   /// leave it unset and fault silently, as before.
   void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
 
+  /// Wires the MMU into the owning machine's mutation hub so page writes,
+  /// mappings and protection changes announce persistence points.  Standalone
+  /// spaces (tests, benches) leave it unset and mutate silently, as before.
+  void set_mutation_hub(MutationHub* hub) noexcept { hub_ = hub; }
+
   /// Total private pages currently mapped (leak checks in tests).
   std::size_t mapped_page_count() const noexcept { return pages_.size(); }
 
@@ -213,6 +220,7 @@ class AddressSpace {
   Addr image_bump_ = kBumpBase;
   SharedArena* arena_;
   trace::TraceSink* trace_ = nullptr;
+  MutationHub* hub_ = nullptr;
   bool strict_align_;
   Addr bump_ = kBumpBase;
 };

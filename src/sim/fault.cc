@@ -27,6 +27,8 @@ std::string_view panic_reason(PanicKind k) noexcept {
       return "delayed failure from corrupted shared arena";
     case PanicKind::kInduced:
       return "induced panic (test hook)";
+    case PanicKind::kFaultInjection:
+      return "fault injection cut at an armed mutation point";
   }
   return "";
 }

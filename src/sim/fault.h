@@ -43,6 +43,7 @@ enum class PanicKind : std::uint8_t {
   kCriticalArenaWrite,  // kernel write through user pointer hit a critical area
   kDeferredFuse,        // delayed death from earlier shared-arena corruption
   kInduced,             // test/diagnostic hook forced the panic
+  kFaultInjection,      // crash-consistency cut at an armed mutation point
 };
 
 /// The single source of panic-reason text (Machine::crash_reason and the

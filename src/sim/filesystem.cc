@@ -2,9 +2,22 @@
 
 #include <algorithm>
 
+#include "sim/mutation.h"
+
 namespace ballista::sim {
 
 namespace {
+
+/// FNV-1a over the leaf name: a stable, human-diffable detail value for fs
+/// mutation points (the full path would drag allocation into the funnel).
+std::uint64_t leaf_hash(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 /// Independent deep copy of a node tree (checkpoint images must not share
 /// structure with the live tree, or mutations would corrupt the oracle).
@@ -50,6 +63,28 @@ bool tree_matches(const FsNode& live, const FsNode& image) {
 FileSystem::FileSystem() : root_(std::make_shared<FsNode>("", true)) {
   build_fixture();
   checkpoint();
+}
+
+void FileSystem::announce(MutationKind kind, std::string_view leaf) {
+  if (hub_ != nullptr) hub_->notify(kind, leaf_hash(leaf));
+}
+
+void FileSystem::set_read_only(FsNode& node, bool value) {
+  if (node.read_only == value) return;  // no state change, no point
+  announce(MutationKind::kFsMeta, node.name());
+  node.read_only = value;
+}
+
+void FileSystem::set_hidden(FsNode& node, bool value) {
+  if (node.hidden == value) return;
+  announce(MutationKind::kFsMeta, node.name());
+  node.hidden = value;
+}
+
+void FileSystem::set_last_write(FsNode& node, std::uint64_t t) {
+  if (node.times.last_write == t) return;
+  announce(MutationKind::kFsMeta, node.name());
+  node.times.last_write = t;
 }
 
 void FileSystem::checkpoint() { image_ = clone_tree(*root_); }
@@ -171,9 +206,13 @@ std::shared_ptr<FsNode> FileSystem::create_file(const ParsedPath& p,
     auto existing = it->second;
     if (existing->is_dir() || fail_if_exists) return nullptr;
     if (existing->read_only) return nullptr;
-    if (truncate_existing) existing->data().clear();
+    if (truncate_existing) {
+      if (!existing->data().empty()) announce(MutationKind::kFsData, leaf);
+      existing->data().clear();
+    }
     return existing;
   }
+  announce(MutationKind::kFsCreate, leaf);
   auto node = std::make_shared<FsNode>(leaf, false);
   parent->children().emplace(leaf, node);
   return node;
@@ -184,6 +223,7 @@ std::shared_ptr<FsNode> FileSystem::create_dir(const ParsedPath& p) {
   auto parent = resolve_parent(p, &leaf);
   if (parent == nullptr || leaf.empty()) return nullptr;
   if (parent->children().count(leaf) != 0) return nullptr;
+  announce(MutationKind::kFsCreate, leaf);
   auto node = std::make_shared<FsNode>(leaf, true);
   parent->children().emplace(leaf, node);
   return node;
@@ -196,6 +236,7 @@ bool FileSystem::remove_file(const ParsedPath& p) {
   auto it = parent->children().find(leaf);
   if (it == parent->children().end() || it->second->is_dir()) return false;
   if (it->second->read_only) return false;
+  announce(MutationKind::kFsRemove, leaf);
   it->second->nlink -= 1;
   parent->children().erase(it);
   return true;
@@ -208,6 +249,7 @@ bool FileSystem::remove_dir(const ParsedPath& p) {
   auto it = parent->children().find(leaf);
   if (it == parent->children().end() || !it->second->is_dir()) return false;
   if (!it->second->children().empty()) return false;
+  announce(MutationKind::kFsRemove, leaf);
   parent->children().erase(it);
   return true;
 }
@@ -233,6 +275,10 @@ bool FileSystem::rename(const ParsedPath& from, const ParsedPath& to) {
   if (to_parent == nullptr || to_leaf.empty()) return false;
   if (to_parent->children().count(to_leaf) != 0) return false;
 
+  // One point for the whole move: rename is atomic with respect to cuts (a
+  // torn rename — detached but not re-attached — is not a state this model
+  // can leave behind, matching journalled-metadata semantics).
+  announce(MutationKind::kFsRename, to_leaf);
   auto node = it->second;
   from_parent->children().erase(it);
   to_parent->children().emplace(to_leaf, node);

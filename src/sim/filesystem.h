@@ -12,6 +12,9 @@
 
 namespace ballista::sim {
 
+class MutationHub;
+enum class MutationKind : std::uint8_t;
+
 struct FileTimes {
   std::uint64_t creation = 0;
   std::uint64_t last_access = 0;
@@ -81,7 +84,22 @@ class FileSystem {
   bool remove_dir(const ParsedPath& p);
   bool rename(const ParsedPath& from, const ParsedPath& to);
 
+  // --- metadata setters (the kFsMeta persistence points) ---------------------
+  //
+  // API layers must edit node metadata through these, never by poking the
+  // public fields, so every metadata change announces a mutation point.
+  // Each is announce-then-apply: an armed cut leaves the field untouched.
+
+  void set_read_only(FsNode& node, bool value);
+  void set_hidden(FsNode& node, bool value);
+  void set_last_write(FsNode& node, std::uint64_t t);
+
   std::shared_ptr<FsNode> root() const noexcept { return root_; }
+
+  /// Wires the filesystem into the owning machine's mutation hub so node
+  /// creation/removal/rename and metadata edits announce persistence points.
+  /// Standalone filesystems (tests) leave it unset and mutate silently.
+  void set_mutation_hub(MutationHub* hub) noexcept { hub_ = hub; }
 
   // --- checkpoint / restore (the machine-state lifecycle's disk leg) ---------
   //
@@ -127,7 +145,9 @@ class FileSystem {
 
  private:
   void build_fixture();
+  void announce(MutationKind kind, std::string_view leaf);
 
+  MutationHub* hub_ = nullptr;
   std::shared_ptr<FsNode> root_;
   /// Checkpoint image: an independent deep copy of the canonical tree.
   std::shared_ptr<FsNode> image_;

@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "sim/filesystem.h"
+#include "sim/mutation.h"
 
 namespace ballista::sim {
+
+void KernelObject::set_signaled(bool s) {
+  // Only an actual flip is a persistence point — re-signaling a signaled
+  // event mutates nothing.
+  if (s != signaled_ && hub_ != nullptr)
+    hub_->notify(MutationKind::kHandleSignal,
+                 static_cast<std::uint64_t>(kind_));
+  signaled_ = s;
+}
 
 std::uint64_t FileObject::read_at(std::span<std::uint8_t> out) {
   if (node_ == nullptr || node_->is_dir()) return 0;
@@ -18,6 +28,8 @@ std::uint64_t FileObject::read_at(std::span<std::uint8_t> out) {
 
 std::uint64_t FileObject::write_at(std::span<const std::uint8_t> in) {
   if (node_ == nullptr || node_->is_dir()) return 0;
+  if (!in.empty() && mutation_hub() != nullptr)
+    mutation_hub()->notify(MutationKind::kFsData, in.size());
   auto& data = node_->data();
   if (append_) pos_ = data.size();
   if (pos_ + in.size() > data.size()) data.resize(pos_ + in.size());
@@ -53,11 +65,15 @@ std::uint64_t HandleTable::insert(std::shared_ptr<KernelObject> obj) {
     h = next_win32_;
     next_win32_ += 4;
   }
+  obj->bind_mutation_hub(hub_);
+  if (hub_ != nullptr) hub_->notify(MutationKind::kHandleCreate, h);
   table_.emplace(h, std::move(obj));
   return h;
 }
 
 void HandleTable::insert_at(std::uint64_t h, std::shared_ptr<KernelObject> obj) {
+  obj->bind_mutation_hub(hub_);
+  if (hub_ != nullptr) hub_->notify(MutationKind::kHandleCreate, h);
   table_[h] = std::move(obj);
 }
 
@@ -66,8 +82,12 @@ std::shared_ptr<KernelObject> HandleTable::get(std::uint64_t h) const noexcept {
   return it == table_.end() ? nullptr : it->second;
 }
 
-bool HandleTable::close(std::uint64_t h) noexcept {
-  return table_.erase(h) != 0;
+bool HandleTable::close(std::uint64_t h) {
+  auto it = table_.find(h);
+  if (it == table_.end()) return false;  // no mutation, no point
+  if (hub_ != nullptr) hub_->notify(MutationKind::kHandleClose, h);
+  table_.erase(it);
+  return true;
 }
 
 std::uint64_t HandleTable::lowest_free(std::uint64_t min) const noexcept {

@@ -19,6 +19,7 @@
 namespace ballista::sim {
 
 class FsNode;
+class MutationHub;
 
 enum class ObjectKind : std::uint8_t {
   kFile,
@@ -53,12 +54,23 @@ class KernelObject {
   /// so waits on them return immediately (as NT does for e.g. process handles
   /// of exited processes).
   bool signaled() const noexcept { return signaled_; }
-  void set_signaled(bool s) noexcept { signaled_ = s; }
+  /// Announces kHandleSignal when the value actually flips.  May throw
+  /// KernelPanic when an armed cut fires, so deliberately not noexcept.
+  void set_signaled(bool s);
+
+  /// Wires the object into the owning machine's mutation hub; the
+  /// HandleTable binds every object it inserts.  Unbound objects (tests,
+  /// pre-insert construction) signal silently.
+  void bind_mutation_hub(MutationHub* hub) noexcept { hub_ = hub; }
+
+ protected:
+  MutationHub* mutation_hub() const noexcept { return hub_; }
 
  private:
   ObjectKind kind_;
   std::string name_;
   bool signaled_ = true;
+  MutationHub* hub_ = nullptr;
 };
 
 struct LockRange {
@@ -144,7 +156,7 @@ class MutexObject final : public KernelObject {
     set_signaled(!initially_owned);
   }
   bool held() const noexcept { return held_; }
-  void set_held(bool h) noexcept {
+  void set_held(bool h) {
     held_ = h;
     set_signaled(!h);
   }
@@ -244,7 +256,9 @@ class HandleTable {
   /// Inserts at a specific slot (POSIX dup2 semantics).
   void insert_at(std::uint64_t h, std::shared_ptr<KernelObject> obj);
   std::shared_ptr<KernelObject> get(std::uint64_t h) const noexcept;
-  bool close(std::uint64_t h) noexcept;
+  /// Announces kHandleClose for live handles; may throw KernelPanic when an
+  /// armed cut fires (hence not noexcept).
+  bool close(std::uint64_t h);
   bool valid(std::uint64_t h) const noexcept { return get(h) != nullptr; }
   /// Lowest unused slot >= min (POSIX fd allocation rule).
   std::uint64_t lowest_free(std::uint64_t min = 0) const noexcept;
@@ -257,6 +271,11 @@ class HandleTable {
   /// POSIX mode allocates small consecutive integers starting at 0; Win32
   /// mode allocates multiples of 4 starting at 4.
   void set_posix_numbering(bool on) noexcept { posix_numbering_ = on; }
+
+  /// Wires the table into the owning machine's mutation hub: inserts and
+  /// closes announce persistence points, and every inserted object is bound
+  /// so its signal flips announce too.  Standalone tables stay silent.
+  void set_mutation_hub(MutationHub* hub) noexcept { hub_ = hub; }
 
   /// Drops every handle and rewinds handle numbering to the fresh-table
   /// state (the numbering mode persists).  Cost is the live handle count —
@@ -271,6 +290,7 @@ class HandleTable {
   std::map<std::uint64_t, std::shared_ptr<KernelObject>> table_;
   std::uint64_t next_win32_ = 4;
   bool posix_numbering_ = false;
+  MutationHub* hub_ = nullptr;
 };
 
 }  // namespace ballista::sim

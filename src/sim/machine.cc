@@ -4,8 +4,10 @@
 
 namespace ballista::sim {
 
-Machine::Machine(OsVariant variant) : pers_(personality_for(variant)) {
+Machine::Machine(OsVariant variant)
+    : pers_(personality_for(variant)), mutations_(*this) {
   trace_.bind_clock(&ticks_);
+  fs_.set_mutation_hub(&mutations_);
 }
 
 std::unique_ptr<SimProcess> Machine::acquire_process() {
@@ -21,6 +23,8 @@ std::unique_ptr<SimProcess> Machine::acquire_process() {
         *this, next_pid_++, pers_.has_shared_arena ? &arena_ : nullptr,
         pers_.strict_alignment, pers_.api == ApiFlavor::kPosix);
     proc->mem().set_trace(&trace_);
+    proc->mem().set_mutation_hub(&mutations_);
+    proc->handles().set_mutation_hub(&mutations_);
     ++built_;
   }
 
@@ -109,6 +113,7 @@ void Machine::restore(RestoreLevel level) {
     next_pid_ = kFirstPid;
     panic_count_ = 0;
     trace_.clear();
+    mutations_.full_reset();
   }
 }
 

@@ -11,6 +11,7 @@
 #include "core/trace.h"
 #include "sim/addrspace.h"
 #include "sim/filesystem.h"
+#include "sim/mutation.h"
 #include "sim/personality.h"
 #include "sim/process.h"
 
@@ -57,6 +58,12 @@ class Machine {
   /// fault paths, CallContext probes, the executor) emits through this sink.
   trace::TraceSink& trace() noexcept { return trace_; }
   const trace::TraceSink& trace() const noexcept { return trace_; }
+
+  /// The fault-point interposition layer: every persistent mutation in the
+  /// simulator (fs, pages, handles, process table) announces through this
+  /// hub, which can count, trace, or cut execution at the k-th point.
+  MutationHub& mutations() noexcept { return mutations_; }
+  const MutationHub& mutations() const noexcept { return mutations_; }
 
   /// Monotonic tick counter standing in for wall-clock time.
   std::uint64_t ticks() const noexcept { return ticks_; }
@@ -136,6 +143,7 @@ class Machine {
   SharedArena arena_;
   FileSystem fs_;
   trace::TraceSink trace_;
+  MutationHub mutations_;
   static constexpr std::uint64_t kBootTicks = 1'000'000;
   static constexpr std::uint64_t kFirstPid = 100;
 

@@ -83,6 +83,9 @@ void SimProcess::recycle(std::uint64_t pid) {
 }
 
 std::shared_ptr<ThreadObject> SimProcess::spawn_thread() {
+  // Announce before allocating the tid: a cut here leaves the process table
+  // without the new thread *and* the tid counter unadvanced.
+  machine_.mutations().notify(MutationKind::kProcessUpdate, next_tid_);
   return std::make_shared<ThreadObject>(next_tid_++, pid_);
 }
 

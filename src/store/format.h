@@ -39,6 +39,7 @@ enum class RecordType : std::uint8_t {
   kRunHeader = 1,
   kShardOutcome = 2,
   kRunComplete = 3,
+  kCrashOutcome = 4,  // crash-enumeration shard (header.crash_mode == 1)
 };
 
 /// Campaign fingerprint + plan geometry.  Two runs with equal RunHeaders
@@ -57,6 +58,13 @@ struct RunHeader {
   std::uint64_t shard_cases = 0;
   std::uint64_t plan_shards = 0;
   std::uint64_t total_planned = 0;
+  /// Crash-enumeration tail.  Base campaigns leave crash_mode 0 and the
+  /// encoder omits all three fields, so base-campaign headers (and their
+  /// logs) stay byte-identical to format version 1 before crash mode
+  /// existed; the decoder treats an absent tail as all-zero.
+  std::uint8_t crash_mode = 0;  // 1 = crash-enumeration campaign
+  std::uint64_t crash_max_cuts = 0;
+  std::uint32_t crash_group_mask = 0;  // bitmask over core::FuncGroup
 
   friend bool operator==(const RunHeader& a, const RunHeader& b) noexcept {
     return a.variant == b.variant && a.mut_list_hash == b.mut_list_hash &&
@@ -65,7 +73,10 @@ struct RunHeader {
            a.only_api == b.only_api && a.record_cases == b.record_cases &&
            a.repro_pass == b.repro_pass && a.shard_cases == b.shard_cases &&
            a.plan_shards == b.plan_shards &&
-           a.total_planned == b.total_planned;
+           a.total_planned == b.total_planned &&
+           a.crash_mode == b.crash_mode &&
+           a.crash_max_cuts == b.crash_max_cuts &&
+           a.crash_group_mask == b.crash_group_mask;
   }
   friend bool operator!=(const RunHeader& a, const RunHeader& b) noexcept {
     return !(a == b);

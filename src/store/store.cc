@@ -107,6 +107,9 @@ std::string describe_header_mismatch(const RunHeader& want,
   field("shard_cases", want.shard_cases, got.shard_cases);
   field("plan_shards", want.plan_shards, got.plan_shards);
   field("total_planned", want.total_planned, got.total_planned);
+  field("crash_mode", want.crash_mode, got.crash_mode);
+  field("crash_max_cuts", want.crash_max_cuts, got.crash_max_cuts);
+  field("crash_group_mask", want.crash_group_mask, got.crash_group_mask);
   return out;
 }
 
@@ -124,13 +127,22 @@ std::string_view read_status_name(ReadStatus s) noexcept {
 
 namespace {
 
+/// Counter serialization is pinned to the 12 event kinds format version 1
+/// shipped with.  The newer in-memory kinds (kMutationPoint, kFaultCut) only
+/// ever count during crash-enumeration passes, whose totals travel in crash
+/// records — so base-campaign logs stay byte-identical to pre-crash builds
+/// and old goldens keep decoding.
+constexpr std::size_t kWireEventKindCount = 12;
+static_assert(kWireEventKindCount <= trace::kEventKindCount);
+
 void put_counters(std::vector<std::uint8_t>& out, const trace::Counters& c) {
-  for (std::uint64_t v : c.n) wire::put_u64(out, v);
+  for (std::size_t i = 0; i < kWireEventKindCount; ++i)
+    wire::put_u64(out, c.n[i]);
   for (std::uint64_t v : c.probe) wire::put_u64(out, v);
 }
 
 bool read_counters(wire::Reader& r, trace::Counters& c) {
-  for (std::size_t i = 0; i < trace::kEventKindCount; ++i) {
+  for (std::size_t i = 0; i < kWireEventKindCount; ++i) {
     const auto v = r.u64();
     if (!v) return false;
     c.n[i] = *v;
@@ -205,6 +217,15 @@ void put_event(std::vector<std::uint8_t>& out, const trace::TraceEvent& e) {
       wire::put_u8(out, e.classified.success_no_error ? 1 : 0);
       wire::put_u8(out, e.classified.wrong_error ? 1 : 0);
       break;
+    case EventKind::kMutationPoint:
+      wire::put_u8(out, static_cast<std::uint8_t>(e.mutation.mkind));
+      wire::put_u64(out, e.mutation.seq);
+      wire::put_u64(out, e.mutation.detail);
+      break;
+    case EventKind::kFaultCut:
+      wire::put_u8(out, static_cast<std::uint8_t>(e.fault_cut.mkind));
+      wire::put_u64(out, e.fault_cut.seq);
+      break;
   }
 }
 
@@ -224,7 +245,7 @@ bool read_i32(wire::Reader& r, std::int32_t& out) {
 
 bool read_event(wire::Reader& r, trace::TraceEvent& e) {
   using trace::EventKind;
-  if (!read_enum(r, EventKind::kCaseClassified, e.kind)) return false;
+  if (!read_enum(r, EventKind::kFaultCut, e.kind)) return false;
   const auto ticks = r.u64();
   const auto case_index = r.i64();
   if (!ticks || !case_index) return false;
@@ -275,7 +296,7 @@ bool read_event(wire::Reader& r, trace::TraceEvent& e) {
       return read_bool(r, e.fault.is_write);
     }
     case EventKind::kPanic:
-      return read_enum(r, sim::PanicKind::kInduced, e.panic.why);
+      return read_enum(r, sim::PanicKind::kFaultInjection, e.panic.why);
     case EventKind::kReboot:
       return read_i32(r, e.reboot.panic_count);
     case EventKind::kShardStart:
@@ -293,6 +314,24 @@ bool read_event(wire::Reader& r, trace::TraceEvent& e) {
                        e.classified.fault) &&
              read_bool(r, e.classified.success_no_error) &&
              read_bool(r, e.classified.wrong_error);
+    case EventKind::kMutationPoint: {
+      if (!read_enum(r, sim::MutationKind::kProcessUpdate, e.mutation.mkind))
+        return false;
+      const auto seq = r.u64();
+      const auto detail = r.u64();
+      if (!seq || !detail) return false;
+      e.mutation.seq = *seq;
+      e.mutation.detail = *detail;
+      return true;
+    }
+    case EventKind::kFaultCut: {
+      if (!read_enum(r, sim::MutationKind::kProcessUpdate, e.fault_cut.mkind))
+        return false;
+      const auto seq = r.u64();
+      if (!seq) return false;
+      e.fault_cut.seq = *seq;
+      return true;
+    }
   }
   return false;
 }
@@ -382,6 +421,13 @@ std::vector<std::uint8_t> encode_run_header(const RunHeader& h) {
   wire::put_u64(out, h.shard_cases);
   wire::put_u64(out, h.plan_shards);
   wire::put_u64(out, h.total_planned);
+  // Base campaigns omit the crash tail entirely, which keeps their headers
+  // (and therefore whole logs) byte-identical to pre-crash-mode builds.
+  if (h.crash_mode != 0) {
+    wire::put_u8(out, h.crash_mode);
+    wire::put_u64(out, h.crash_max_cuts);
+    wire::put_u32(out, h.crash_group_mask);
+  }
   return out;
 }
 
@@ -402,15 +448,30 @@ bool decode_run_header(const std::uint8_t* payload, std::size_t size,
   const auto total_planned = r.u64();
   if (!variant || !mut_hash || !pool_hash || !cap || !seed || !has_api ||
       !api || !record_cases || !repro || !shard_cases || !plan_shards ||
-      !total_planned || r.pos != r.size)
+      !total_planned)
     return false;
   if (*variant > static_cast<std::uint8_t>(sim::OsVariant::kLinux) ||
       *has_api > 1 || *record_cases > 1 || *repro > 1 ||
       *api > static_cast<std::uint8_t>(core::ApiKind::kCLib))
     return false;
-  h = {*variant, *mut_hash, *pool_hash,   *cap,         *seed,        *has_api,
-       *api,     *record_cases, *repro,   *shard_cases, *plan_shards,
-       *total_planned};
+  // Optional crash tail: absent on base-campaign (and legacy) headers.
+  std::uint8_t crash_mode = 0;
+  std::uint64_t crash_max_cuts = 0;
+  std::uint32_t crash_group_mask = 0;
+  if (r.pos != r.size) {
+    const auto mode = r.u8();
+    const auto max_cuts = r.u64();
+    const auto group_mask = r.u32();
+    if (!mode || *mode != 1 || !max_cuts || !group_mask || r.pos != r.size)
+      return false;
+    crash_mode = *mode;
+    crash_max_cuts = *max_cuts;
+    crash_group_mask = *group_mask;
+  }
+  h = {*variant,   *mut_hash,      *pool_hash, *cap,
+       *seed,      *has_api,       *api,       *record_cases,
+       *repro,     *shard_cases,   *plan_shards, *total_planned,
+       crash_mode, crash_max_cuts, crash_group_mask};
   return true;
 }
 
@@ -420,12 +481,18 @@ struct CompleteMarker {
   trace::Counters counters;
 };
 
-std::vector<std::uint8_t> encode_complete(const core::CampaignResult& r) {
+std::vector<std::uint8_t> encode_complete_raw(std::uint64_t total_cases,
+                                              std::int64_t reboots,
+                                              const trace::Counters& counters) {
   std::vector<std::uint8_t> out;
-  wire::put_u64(out, r.total_cases);
-  wire::put_i64(out, r.reboots);
-  put_counters(out, r.event_counters);
+  wire::put_u64(out, total_cases);
+  wire::put_i64(out, reboots);
+  put_counters(out, counters);
   return out;
+}
+
+std::vector<std::uint8_t> encode_complete(const core::CampaignResult& r) {
+  return encode_complete_raw(r.total_cases, r.reboots, r.event_counters);
 }
 
 bool decode_complete(const std::uint8_t* payload, std::size_t size,
@@ -483,6 +550,132 @@ bool decode_shard_outcome(const std::uint8_t* payload, std::size_t size,
   return r.pos == r.size;  // trailing garbage means a forged record
 }
 
+// --- crash-enumeration codecs ------------------------------------------------
+
+namespace {
+
+/// Like kWireEventKindCount: the mutation taxonomy as serialized.  Growing
+/// the in-memory enum later requires a format bump (or a tail), not a silent
+/// re-interpretation of old crash logs.
+constexpr std::size_t kWireMutationKindCount = 13;
+static_assert(kWireMutationKindCount == sim::kMutationKindCount);
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_crash_shard_outcome(
+    const core::CrashShardOutcome& o) {
+  std::vector<std::uint8_t> out;
+  wire::put_u64(out, o.shard_index);
+  wire::put_u64(out, o.cuts_tested);
+  wire::put_i64(out, o.reboots);
+  wire::put_u64(out, o.partials.size());
+  for (const core::CrashShardOutcome::MutPartial& p : o.partials) {
+    wire::put_u64(out, p.mut_index);
+    wire::put_u64(out, p.range_first);
+    const core::CrashMutStats& s = p.stats;
+    wire::put_u64(out, s.planned);
+    wire::put_u64(out, s.cases_counted);
+    wire::put_u64(out, s.points_total);
+    wire::put_u64(out, s.cuts_tested);
+    wire::put_u64(out, s.consistent);
+    wire::put_u64(out, s.inconsistent);
+    wire::put_u64(out, s.no_cut);
+    for (std::size_t k = 0; k < kWireMutationKindCount; ++k)
+      wire::put_u64(out, s.point_counts[k]);
+    wire::put_u64(out, s.findings.size());
+    for (const core::CutRecord& f : s.findings) {
+      wire::put_u64(out, f.case_index);
+      wire::put_u64(out, f.cut_at);
+      wire::put_u8(out, static_cast<std::uint8_t>(f.verdict));
+      wire::put_str(out, f.detail);
+    }
+  }
+  return out;
+}
+
+bool decode_crash_shard_outcome(const std::uint8_t* payload, std::size_t size,
+                                core::CrashShardOutcome& out) {
+  wire::Reader r(payload, size);
+  const auto index = r.u64();
+  const auto cuts = r.u64();
+  const auto reboots = r.i64();
+  const auto nparts = r.u64();
+  if (!index || !cuts || !reboots || !nparts || *nparts > r.remaining())
+    return false;
+  out.shard_index = static_cast<std::size_t>(*index);
+  out.cuts_tested = *cuts;
+  out.reboots = *reboots;
+  out.partials.reserve(static_cast<std::size_t>(*nparts));
+  for (std::uint64_t i = 0; i < *nparts; ++i) {
+    core::CrashShardOutcome::MutPartial p;
+    const auto mut_index = r.u64();
+    const auto range_first = r.u64();
+    if (!mut_index || !range_first) return false;
+    p.mut_index = static_cast<std::size_t>(*mut_index);
+    p.range_first = *range_first;
+    core::CrashMutStats& s = p.stats;
+    const auto planned = r.u64();
+    const auto counted = r.u64();
+    const auto points = r.u64();
+    const auto tested = r.u64();
+    const auto consistent = r.u64();
+    const auto inconsistent = r.u64();
+    const auto no_cut = r.u64();
+    if (!planned || !counted || !points || !tested || !consistent ||
+        !inconsistent || !no_cut)
+      return false;
+    s.planned = *planned;
+    s.cases_counted = *counted;
+    s.points_total = *points;
+    s.cuts_tested = *tested;
+    s.consistent = *consistent;
+    s.inconsistent = *inconsistent;
+    s.no_cut = *no_cut;
+    for (std::size_t k = 0; k < kWireMutationKindCount; ++k) {
+      const auto v = r.u64();
+      if (!v) return false;
+      s.point_counts[k] = *v;
+    }
+    const auto nfind = r.u64();
+    if (!nfind || *nfind > r.remaining()) return false;
+    s.findings.reserve(static_cast<std::size_t>(*nfind));
+    for (std::uint64_t j = 0; j < *nfind; ++j) {
+      core::CutRecord f;
+      const auto case_index = r.u64();
+      const auto cut_at = r.u64();
+      if (!case_index || !cut_at) return false;
+      f.case_index = *case_index;
+      f.cut_at = *cut_at;
+      if (!read_enum(r, core::CrashVerdict::kNoCut, f.verdict)) return false;
+      auto detail = r.str();
+      if (!detail) return false;
+      f.detail = std::move(*detail);
+      s.findings.push_back(std::move(f));
+    }
+    out.partials.push_back(std::move(p));
+  }
+  return r.pos == r.size;
+}
+
+RunHeader make_crash_run_header(const core::Plan& plan,
+                                const core::CrashOptions& opt) {
+  RunHeader h;
+  h.variant = static_cast<std::uint8_t>(plan.variant);
+  h.mut_list_hash = mut_list_hash(plan);
+  h.value_pool_hash = value_pool_hash(plan);
+  h.cap = opt.cap;
+  h.seed = opt.seed;
+  h.record_cases = 0;
+  h.repro_pass = 0;
+  h.shard_cases = opt.shard_cases;
+  h.plan_shards = plan.shards.size();
+  h.total_planned = plan.total_planned;
+  h.crash_mode = 1;
+  h.crash_max_cuts = opt.max_cuts;
+  h.crash_group_mask = opt.group_mask;
+  return h;
+}
+
 // --- reader ------------------------------------------------------------------
 
 StoreContents read_store(const std::vector<std::uint8_t>& bytes) {
@@ -538,13 +731,26 @@ StoreContents read_store(const std::vector<std::uint8_t>& bytes) {
     switch (static_cast<RecordType>(fv.type)) {
       case RecordType::kShardOutcome: {
         core::ShardOutcome o;
-        if (!decode_shard_outcome(fv.payload, fv.payload_size, o)) {
+        if (c.header.crash_mode != 0 ||
+            !decode_shard_outcome(fv.payload, fv.payload_size, o)) {
           c.status = ReadStatus::kCorrupt;
           c.error = "malformed shard record at byte " + std::to_string(pos) +
                     "; valid prefix recovered";
           return c;
         }
         c.outcomes.push_back(std::move(o));
+        break;
+      }
+      case RecordType::kCrashOutcome: {
+        core::CrashShardOutcome o;
+        if (c.header.crash_mode == 0 ||
+            !decode_crash_shard_outcome(fv.payload, fv.payload_size, o)) {
+          c.status = ReadStatus::kCorrupt;
+          c.error = "malformed crash record at byte " + std::to_string(pos) +
+                    "; valid prefix recovered";
+          return c;
+        }
+        c.crash_outcomes.push_back(std::move(o));
         break;
       }
       case RecordType::kRunComplete: {
@@ -660,6 +866,19 @@ bool CampaignStore::append_shard(const core::ShardOutcome& outcome) {
 
 bool CampaignStore::append_complete(const core::CampaignResult& result) {
   return write_frame(RecordType::kRunComplete, encode_complete(result));
+}
+
+bool CampaignStore::append_crash_shard(const core::CrashShardOutcome& outcome) {
+  return write_frame(RecordType::kCrashOutcome,
+                     encode_crash_shard_outcome(outcome));
+}
+
+bool CampaignStore::append_complete_crash(
+    const core::CrashCampaignResult& result) {
+  // total_cases carries total_cuts; crash logs serialize no trace counters.
+  return write_frame(RecordType::kRunComplete,
+                     encode_complete_raw(result.total_cuts, result.reboots,
+                                         trace::Counters{}));
 }
 
 // --- drivers -----------------------------------------------------------------
@@ -840,6 +1059,188 @@ StoreRun load_result(const core::Registry& registry, const std::string& path) {
   out.shards_reused = cache.size();
   out.result = merge_cache(plan, std::move(cache));
   if (!summary_matches(contents, out.result)) {
+    out.error = path + ": merged result does not match the log's completion "
+                       "marker (refusing to trust it)";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+// --- crash-enumeration drivers ----------------------------------------------
+
+namespace {
+
+bool crash_outcome_matches_plan(const core::Plan& plan,
+                                core::CrashShardOutcome& o) {
+  if (o.shard_index >= plan.shards.size()) return false;
+  const core::Shard& s = plan.shards[o.shard_index];
+  if (o.partials.size() != s.items.size()) return false;
+  for (std::size_t i = 0; i < o.partials.size(); ++i) {
+    core::CrashShardOutcome::MutPartial& p = o.partials[i];
+    const core::ShardItem& it = s.items[i];
+    if (p.mut_index != it.mut_index || p.range_first != it.range.first ||
+        p.stats.planned != it.planned ||
+        p.stats.cases_counted > it.range.count)
+      return false;
+    p.stats.mut = it.mut;
+  }
+  return true;
+}
+
+using CrashOutcomeCache = std::map<std::size_t, core::CrashShardOutcome>;
+
+CrashOutcomeCache build_crash_cache(const core::Plan& plan,
+                                    StoreContents& contents) {
+  CrashOutcomeCache cache;
+  for (core::CrashShardOutcome& o : contents.crash_outcomes) {
+    if (!crash_outcome_matches_plan(plan, o)) break;
+    if (!cache.emplace(o.shard_index, std::move(o)).second) break;
+  }
+  return cache;
+}
+
+core::CrashCampaignResult merge_crash_cache(const core::Plan& plan,
+                                            CrashOutcomeCache cache) {
+  std::vector<core::CrashShardOutcome> outcomes(plan.shards.size());
+  for (auto& [index, o] : cache) outcomes[index] = std::move(o);
+  return core::merge_crash_outcomes(plan, std::move(outcomes));
+}
+
+bool crash_summary_matches(const StoreContents& contents,
+                           const core::CrashCampaignResult& merged) {
+  return contents.complete_total_cases == merged.total_cuts &&
+         contents.complete_reboots == merged.reboots &&
+         contents.complete_counters == trace::Counters{};
+}
+
+}  // namespace
+
+CrashStoreRun run_crash_with_store(sim::OsVariant variant,
+                                   const core::Registry& registry,
+                                   const core::CrashOptions& opt,
+                                   const std::string& path, bool resume) {
+  CrashStoreRun out;
+  if (opt.shard_cache || opt.on_shard_complete) {
+    out.error = "the store manages the engine's shard hooks itself";
+    return out;
+  }
+
+  const core::Plan plan = core::crash_plan_for(variant, registry, opt);
+  const RunHeader header = make_crash_run_header(plan, opt);
+
+  std::unique_ptr<CampaignStore> log;
+  CrashOutcomeCache cache;
+  std::string err;
+  if (resume) {
+    StoreContents contents = read_store_file(path);
+    out.log_status = contents.status;
+    if (contents.status == ReadStatus::kBadHeader) {
+      out.error = path + ": " + contents.error;
+      return out;
+    }
+    if (contents.header != header) {
+      out.error = path + ": log fingerprint does not match this campaign:\n" +
+                  describe_header_mismatch(header, contents.header);
+      return out;
+    }
+    cache = build_crash_cache(plan, contents);
+    if (contents.complete && cache.size() == plan.shards.size()) {
+      out.result = merge_crash_cache(plan, std::move(cache));
+      if (!crash_summary_matches(contents, out.result)) {
+        out.error = path + ": merged result does not match the log's "
+                           "completion marker (refusing to trust it)";
+        return out;
+      }
+      out.shards_reused = plan.shards.size();
+      out.ok = true;
+      return out;
+    }
+    log = CampaignStore::open_append(path, contents.valid_bytes, &err);
+  } else {
+    log = CampaignStore::create(path, header, &err);
+  }
+  if (log == nullptr) {
+    out.error = err;
+    return out;
+  }
+
+  core::CrashOptions run_opt = opt;
+  run_opt.shard_cache =
+      [&cache](const core::Shard& s) -> const core::CrashShardOutcome* {
+    const auto it = cache.find(s.index);
+    return it == cache.end() ? nullptr : &it->second;
+  };
+  std::size_t executed = 0;
+  run_opt.on_shard_complete = [&](const core::CrashShardOutcome& o) {
+    if (!log->append_crash_shard(o))
+      throw std::runtime_error("campaign store: append failed on " + path);
+    ++executed;
+  };
+
+  try {
+    out.result = core::run_crash_engine(variant, registry, run_opt);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    return out;
+  }
+  if (!log->append_complete_crash(out.result)) {
+    out.error = "campaign store: could not seal " + path;
+    return out;
+  }
+  out.shards_reused = cache.size();
+  out.shards_executed = executed;
+  out.ok = true;
+  return out;
+}
+
+CrashStoreRun load_crash_result(const core::Registry& registry,
+                                const std::string& path) {
+  CrashStoreRun out;
+  StoreContents contents = read_store_file(path);
+  out.log_status = contents.status;
+  if (contents.status == ReadStatus::kBadHeader) {
+    out.error = path + ": " + contents.error;
+    return out;
+  }
+  if (contents.header.crash_mode == 0) {
+    out.error = path + ": not a crash-enumeration log";
+    return out;
+  }
+
+  const auto variant = static_cast<sim::OsVariant>(contents.header.variant);
+  core::CrashOptions opt;
+  opt.cap = contents.header.cap;
+  opt.seed = contents.header.seed;
+  opt.shard_cases = contents.header.shard_cases;
+  opt.max_cuts = contents.header.crash_max_cuts;
+  opt.group_mask = contents.header.crash_group_mask;
+
+  const core::Plan plan = core::crash_plan_for(variant, registry, opt);
+  const RunHeader want = make_crash_run_header(plan, opt);
+  if (contents.header != want) {
+    out.error = path + ": log does not match the current catalog "
+                       "(was it written by a different build?):\n" +
+                describe_header_mismatch(want, contents.header);
+    return out;
+  }
+  if (!contents.complete) {
+    out.error = path + ": log is incomplete (" +
+                std::string(read_status_name(contents.status)) +
+                (contents.error.empty() ? "" : ": " + contents.error) +
+                "); finish it with --resume first";
+    return out;
+  }
+  CrashOutcomeCache cache = build_crash_cache(plan, contents);
+  if (cache.size() != plan.shards.size()) {
+    out.error = path + ": log is sealed but covers only " +
+                std::to_string(cache.size()) + " of " +
+                std::to_string(plan.shards.size()) + " shards";
+    return out;
+  }
+  out.shards_reused = cache.size();
+  out.result = merge_crash_cache(plan, std::move(cache));
+  if (!crash_summary_matches(contents, out.result)) {
     out.error = path + ": merged result does not match the log's completion "
                        "marker (refusing to trust it)";
     return out;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/crashplan.h"
 #include "core/sched.h"
 #include "store/format.h"
 
@@ -46,6 +47,9 @@ struct StoreContents {
   /// Decoded shard records in append (completion) order.  MutStats::mut is
   /// left null — the resume/load drivers rebind it against the plan.
   std::vector<core::ShardOutcome> outcomes;
+  /// Crash-enumeration shard records (header.crash_mode == 1 logs only; a
+  /// log never mixes the two record flavors).
+  std::vector<core::CrashShardOutcome> crash_outcomes;
   /// kRunComplete seen: merged totals follow.
   bool complete = false;
   std::uint64_t complete_total_cases = 0;
@@ -69,6 +73,18 @@ std::vector<std::uint8_t> encode_shard_outcome(const core::ShardOutcome& o);
 bool decode_shard_outcome(const std::uint8_t* payload, std::size_t size,
                           core::ShardOutcome& out);
 
+std::vector<std::uint8_t> encode_crash_shard_outcome(
+    const core::CrashShardOutcome& o);
+/// Strict decode of one kCrashOutcome payload; false on any malformation.
+bool decode_crash_shard_outcome(const std::uint8_t* payload, std::size_t size,
+                                core::CrashShardOutcome& out);
+
+/// The header a crash-enumeration campaign stamps on the plan crash_plan_for
+/// derives from `opt` (crash_mode = 1; the base-campaign-only knobs
+/// record_cases/repro_pass are pinned to 0).
+RunHeader make_crash_run_header(const core::Plan& plan,
+                                const core::CrashOptions& opt);
+
 /// Append-only writer.  All methods return false (and latch fail()) on I/O
 /// error; nothing throws.
 class CampaignStore {
@@ -90,6 +106,11 @@ class CampaignStore {
   bool append_shard(const core::ShardOutcome& outcome);
   /// Appends the completion marker with the merged totals.
   bool append_complete(const core::CampaignResult& result);
+
+  /// Crash-log flavors of the two appends (total_cases carries total_cuts;
+  /// the event-counter slots are zero — crash logs never serialize traces).
+  bool append_crash_shard(const core::CrashShardOutcome& outcome);
+  bool append_complete_crash(const core::CrashCampaignResult& result);
 
   bool fail() const noexcept { return failed_; }
 
@@ -131,5 +152,30 @@ StoreRun run_with_store(sim::OsVariant variant, const core::Registry& registry,
 /// totals are cross-checked against the completion marker, so a log that
 /// would mis-merge is rejected rather than trusted.
 StoreRun load_result(const core::Registry& registry, const std::string& path);
+
+// --- crash-enumeration drivers ----------------------------------------------
+
+struct CrashStoreRun {
+  bool ok = false;
+  std::string error;
+  core::CrashCampaignResult result;
+  std::size_t shards_reused = 0;
+  std::size_t shards_executed = 0;
+  ReadStatus log_status = ReadStatus::kOk;
+};
+
+/// Runs (or resumes) one crash-enumeration campaign with the log at `path`.
+/// Same contract as run_with_store: resume recovers the valid prefix, checks
+/// the fingerprint (which embeds crash_mode/max_cuts/group_mask), re-runs
+/// only the missing shards and seals the log.
+CrashStoreRun run_crash_with_store(sim::OsVariant variant,
+                                   const core::Registry& registry,
+                                   const core::CrashOptions& opt,
+                                   const std::string& path, bool resume);
+
+/// Reconstructs the CrashCampaignResult a sealed crash log recorded, without
+/// executing anything.  Plan parameters come from the header itself.
+CrashStoreRun load_crash_result(const core::Registry& registry,
+                                const std::string& path);
 
 }  // namespace ballista::store

@@ -161,8 +161,9 @@ CallOutcome do_set_attrs(CallContext& ctx) {
   if ((attrs & ~0x93u) != 0) return ctx.win_fail(ERR_INVALID_PARAMETER, 0);
   auto node = node_at(ctx, *pr.path);
   if (node == nullptr) return ctx.win_fail(ERR_FILE_NOT_FOUND, 0);
-  node->read_only = (attrs & 0x01) != 0;
-  node->hidden = (attrs & 0x02) != 0;
+  auto& fs = ctx.machine().fs();
+  fs.set_read_only(*node, (attrs & 0x01) != 0);
+  fs.set_hidden(*node, (attrs & 0x02) != 0);
   return ok(1);
 }
 
@@ -566,7 +567,7 @@ CallOutcome do_set_file_time(CallContext& ctx) {
     std::uint64_t ft = 0;
     const MemStatus st = ctx.k_read_u64(in, &ft);
     if (st != MemStatus::kOk) return ctx.win_mem_fail(st);
-    f->node()->times.last_write = ft / 10'000'000ull;
+    ctx.machine().fs().set_last_write(*f->node(), ft / 10'000'000ull);
   }
   return ok(1);
 }

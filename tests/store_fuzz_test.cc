@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "common/rng.h"
@@ -38,7 +39,8 @@ std::vector<std::uint8_t> file_bytes(const std::string& path) {
 /// A sealed log over the tiny registry: small enough that every-byte
 /// truncation loops stay fast, rich enough to hold several shard records.
 std::vector<std::uint8_t> tiny_log_bytes() {
-  const std::string path = ::testing::TempDir() + "ballista_fuzz.blog";
+  const std::string path = ::testing::TempDir() + "ballista_fuzz." +
+                           std::to_string(::getpid()) + ".blog";
   TinyWorld tiny;
   const StoreRun run = run_with_store(OsVariant::kWinNT4, tiny.registry,
                                       tiny_options(), path, /*resume=*/false);
@@ -151,7 +153,8 @@ TEST_P(StoreFuzzSeeded, RandomGarbageNeverCrashesTheReader) {
 TEST(StoreFuzz, SampledTruncationsOfAFullWorldLogRecover) {
   // One pass over a real (full-registry) log too: large frames, crash traces
   // and long strings travel through the recovery path.
-  const std::string path = ::testing::TempDir() + "ballista_fuzz_world.blog";
+  const std::string path = ::testing::TempDir() + "ballista_fuzz_world." +
+                           std::to_string(::getpid()) + ".blog";
   core::CampaignOptions opt;
   opt.cap = 20;
   const StoreRun run = run_with_store(

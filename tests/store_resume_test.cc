@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "core/sched.h"
@@ -64,8 +65,11 @@ void expect_same_result(const CampaignResult& a, const CampaignResult& b,
   }
 }
 
+// The pid keeps paths unique when ctest runs the gtest-discovered copy of a
+// test and its aggregate entry (store_fuzz / store_resume) concurrently.
 std::string temp_blog(const std::string& stem) {
-  return ::testing::TempDir() + "ballista_" + stem + ".blog";
+  return ::testing::TempDir() + "ballista_" + stem + "." +
+         std::to_string(::getpid()) + ".blog";
 }
 
 /// Writes a log whose writer dies after `kill_after` appended shards (plus a

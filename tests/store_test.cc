@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "core/diff.h"
@@ -23,8 +24,11 @@ using testing::shared_world;
 using testing::TinyWorld;
 using testing::tiny_options;
 
+// The pid keeps paths unique when ctest runs the gtest-discovered copy of a
+// test and its aggregate entry (store_fuzz / store_resume) concurrently.
 std::string temp_blog(const std::string& stem) {
-  return ::testing::TempDir() + "ballista_" + stem + ".blog";
+  return ::testing::TempDir() + "ballista_" + stem + "." +
+         std::to_string(::getpid()) + ".blog";
 }
 
 void expect_same_result(const CampaignResult& a, const CampaignResult& b,

@@ -13,6 +13,7 @@
 // OS names: win95 win98 win98se nt4 win2000 wince linux (default: all where
 // a single OS is not required).  See README.md for the full flag table.
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -50,6 +51,12 @@ struct Args {
   std::string mut_csv, value_csv;
   bool analyze = false;
   unsigned jobs = 1;
+  /// --crash-points[=N] (run): crash-enumeration campaign testing up to N
+  /// cuts per case (default 16).
+  std::optional<std::uint64_t> crash_points;
+  /// --cut K (repro): re-run the case with a fault cut armed at point K and
+  /// report the post-reboot crash-consistency verdict.
+  std::uint64_t cut = 0;
   /// --trace[=N]: print the last N rendered trace events for every
   /// Catastrophic MuT (run) or the whole machine tail (repro).
   std::optional<std::size_t> trace_events;
@@ -61,6 +68,9 @@ struct Args {
   std::string store, resume, baseline;
   /// Non-flag operands (only the diff command takes any).
   std::vector<std::string> positional;
+  /// Every `--flag` token seen, in order — pure-operand commands (diff,
+  /// stats) reject any flag instead of silently ignoring it.
+  std::vector<std::string> flags_seen;
   bool ok = true;
 };
 
@@ -73,6 +83,7 @@ Args parse_args(int argc, char** argv) {
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag.rfind("--", 0) == 0) a.flags_seen.push_back(flag);
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         a.ok = false;
@@ -104,6 +115,14 @@ Args parse_args(int argc, char** argv) {
       if (*a.trace_events == 0) a.ok = false;
     } else if (flag == "--event-counters") {
       a.event_counters = true;
+    } else if (flag == "--crash-points") {
+      a.crash_points = 16;
+    } else if (flag.rfind("--crash-points=", 0) == 0) {
+      a.crash_points = std::strtoull(flag.c_str() + 15, nullptr, 10);
+      if (*a.crash_points == 0) a.ok = false;
+    } else if (flag == "--cut") {
+      a.cut = std::strtoull(next(), nullptr, 10);
+      if (a.cut == 0) a.ok = false;
     } else if (flag == "--jobs") {
       a.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
       if (a.jobs == 0) a.ok = false;
@@ -138,9 +157,9 @@ int usage() {
       "  list-types                               data types and value pools\n"
       "  run [--os NAME] [--cap N] [--seed S] [--api sys|clib] [--jobs N]\n"
       "      [--mut-csv F] [--value-csv F] [--analyze]\n"
-      "      [--trace[=N]] [--event-counters]\n"
+      "      [--trace[=N]] [--event-counters] [--crash-points[=N]]\n"
       "      [--store F.blog | --resume F.blog] [--baseline F.blog]\n"
-      "  repro --os NAME --mut NAME --case I [--trace[=N]]\n"
+      "  repro --os NAME --mut NAME --case I [--trace[=N]] [--cut K]\n"
       "                                           single-test reproduction\n"
       "  crashes [--os NAME] [--cap N] [--jobs N] Catastrophic function lists\n"
       "  tables [--cap N] [--jobs N]              all paper tables and figures\n"
@@ -155,7 +174,12 @@ int usage() {
       "--store appends each completed shard to a crash-safe log; --resume\n"
       "recovers such a log and re-runs only the missing shards; --baseline\n"
       "diffs the run against an earlier log and exits 3 on any drift.\n"
-      "Store flags require a single --os.  See README.md for details.\n";
+      "Store flags require a single --os.  See README.md for details.\n"
+      "--crash-points[=N] runs a crash-enumeration campaign instead of a\n"
+      "robustness campaign: each case's persistence points are counted, then\n"
+      "up to N cuts per case are injected and post-reboot consistency is\n"
+      "verified.  Store/resume/baseline/jobs compose; repro --cut K replays\n"
+      "one (MuT, case, k) cut standalone.\n";
   return 2;
 }
 
@@ -222,6 +246,80 @@ void print_observability(const core::CampaignResult& r, const Args& a) {
   }
 }
 
+void print_crash_summary(std::ostream& os,
+                         const core::CrashCampaignResult& r) {
+  os << sim::variant_name(r.variant) << " crash enumeration: "
+     << r.stats.size() << " MuTs, " << r.total_points << " persistence "
+     << "points, " << r.total_cuts << " cuts (" << r.consistent
+     << " consistent, " << r.inconsistent << " inconsistent, " << r.no_cut
+     << " no-cut), " << r.reboots << " reboot(s)\n";
+  os << "  points by kind:";
+  std::array<std::uint64_t, sim::kMutationKindCount> kinds{};
+  for (const core::CrashMutStats& s : r.stats)
+    for (std::size_t k = 0; k < sim::kMutationKindCount; ++k)
+      kinds[k] += s.point_counts[k];
+  for (std::size_t k = 0; k < sim::kMutationKindCount; ++k)
+    if (kinds[k] != 0)
+      os << " " << sim::mutation_kind_name(static_cast<sim::MutationKind>(k))
+         << "=" << kinds[k];
+  os << "\n";
+  for (const core::CrashMutStats& s : r.stats)
+    for (const core::CutRecord& f : s.findings)
+      os << "  " << core::crash_verdict_name(f.verdict) << ": " << s.mut->name
+         << " case " << f.case_index << " cut " << f.cut_at
+         << (f.detail.empty() ? "" : "  (" + f.detail + ")") << "\n";
+}
+
+int cmd_run_crash(const harness::World& world, const Args& a) {
+  if (a.api) {
+    std::cerr << "--api does not apply to crash enumeration (the group mask "
+                 "selects the MuTs)\n";
+    return 2;
+  }
+  std::vector<core::CrashCampaignResult> results;
+  for (sim::OsVariant v : os_list(a)) {
+    core::CrashOptions opt;
+    opt.cap = a.cap;
+    opt.seed = a.seed;
+    opt.jobs = a.jobs;
+    opt.max_cuts = *a.crash_points;
+    if (!a.store.empty() || !a.resume.empty()) {
+      const bool resume = !a.resume.empty();
+      const std::string& path = resume ? a.resume : a.store;
+      store::CrashStoreRun run =
+          store::run_crash_with_store(v, world.registry, opt, path, resume);
+      if (!run.ok) {
+        std::cerr << run.error << "\n";
+        return 1;
+      }
+      std::cout << path << ": " << run.shards_reused
+                << " shard(s) replayed from the log, " << run.shards_executed
+                << " executed\n";
+      results.push_back(std::move(run.result));
+    } else {
+      results.push_back(core::run_crash_engine(v, world.registry, opt));
+    }
+  }
+  for (const auto& r : results) print_crash_summary(std::cout, r);
+  if (!a.baseline.empty()) {
+    const store::CrashStoreRun base =
+        store::load_crash_result(world.registry, a.baseline);
+    if (!base.ok) {
+      std::cerr << base.error << "\n";
+      return 1;
+    }
+    const std::string d =
+        core::diff_crash_results(base.result, results.front());
+    if (!d.empty()) {
+      std::cerr << "regression gate: crash run drifted from baseline "
+                << a.baseline << ": " << d << "\n";
+      return 3;
+    }
+    std::cout << "crash run identical to baseline " << a.baseline << "\n";
+  }
+  return 0;
+}
+
 int cmd_run(const harness::World& world, const Args& a) {
   if (!a.store.empty() && !a.resume.empty()) {
     std::cerr << "--store and --resume are mutually exclusive\n";
@@ -234,6 +332,7 @@ int cmd_run(const harness::World& world, const Args& a) {
                  "(a campaign log holds one OS variant)\n";
     return 2;
   }
+  if (a.crash_points) return cmd_run_crash(world, a);
   std::vector<core::CampaignResult> results;
   for (sim::OsVariant v : os_list(a)) {
     core::CampaignOptions opt;
@@ -300,10 +399,46 @@ int cmd_run(const harness::World& world, const Args& a) {
   return 0;
 }
 
+/// Whether the log at `path` is a crash-enumeration log (nullopt when the
+/// header is unreadable — the load drivers will produce the real error).
+std::optional<bool> log_is_crash(const std::string& path) {
+  const store::StoreContents c = store::read_store_file(path);
+  if (c.status == store::ReadStatus::kBadHeader) return std::nullopt;
+  return c.header.crash_mode != 0;
+}
+
 int cmd_diff(const harness::World& world, const Args& a) {
   if (a.positional.size() != 2) {
     std::cerr << "diff takes exactly two .blog files\n";
     return usage();
+  }
+  const std::optional<bool> base_crash = log_is_crash(a.positional[0]);
+  const std::optional<bool> next_crash = log_is_crash(a.positional[1]);
+  if (base_crash && next_crash && *base_crash != *next_crash) {
+    std::cerr << "cannot diff a crash-enumeration log against a robustness "
+                 "log\n";
+    return 2;
+  }
+  if (base_crash.value_or(false)) {
+    const store::CrashStoreRun base =
+        store::load_crash_result(world.registry, a.positional[0]);
+    if (!base.ok) {
+      std::cerr << base.error << "\n";
+      return 2;
+    }
+    const store::CrashStoreRun next =
+        store::load_crash_result(world.registry, a.positional[1]);
+    if (!next.ok) {
+      std::cerr << next.error << "\n";
+      return 2;
+    }
+    const std::string d = core::diff_crash_results(base.result, next.result);
+    if (d.empty()) {
+      std::cout << "identical crash campaigns\n";
+      return 0;
+    }
+    std::cout << d << "\n";
+    return 1;
   }
   const store::StoreRun base =
       store::load_result(world.registry, a.positional[0]);
@@ -330,6 +465,17 @@ int cmd_stats(const harness::World& world, const Args& a) {
   if (a.positional.size() != 1) {
     std::cerr << "stats takes exactly one .blog file\n";
     return usage();
+  }
+  if (log_is_crash(a.positional[0]).value_or(false)) {
+    const store::CrashStoreRun run =
+        store::load_crash_result(world.registry, a.positional[0]);
+    if (!run.ok) {
+      std::cerr << run.error << "\n";
+      return 2;
+    }
+    std::cout << a.positional[0] << ": ";
+    print_crash_summary(std::cout, run.result);
+    return 0;
   }
   const store::StoreRun run = store::load_result(world.registry, a.positional[0]);
   if (!run.ok) {
@@ -415,6 +561,18 @@ int cmd_repro(const harness::World& world, const Args& a) {
   std::cout << a.mut << " case " << a.case_index << " = "
             << core::describe_tuple(tuple) << "\n";
 
+  if (a.cut != 0) {
+    // Standalone crash-consistency probe: counting pass, armed cut at point
+    // K, reboot, verify — the repro path for one campaign finding.
+    std::string detail;
+    const core::CrashVerdict v = core::crash_probe_case(
+        *a.os, *mut, a.case_index, a.cut, a.cap, a.seed, &detail);
+    std::cout << "cut " << a.cut << ": " << core::crash_verdict_name(v);
+    if (!detail.empty()) std::cout << "  (" << detail << ")";
+    std::cout << "\n";
+    return v == core::CrashVerdict::kConsistent ? 0 : 1;
+  }
+
   sim::Machine machine(*a.os);
   core::Executor executor(machine);
   const core::CaseResult r = executor.run_case(
@@ -474,6 +632,13 @@ int main(int argc, char** argv) {
   if (!a.ok) return usage();
   if (a.command != "diff" && a.command != "stats" && !a.positional.empty()) {
     std::cerr << "unexpected operand '" << a.positional.front() << "'\n";
+    return usage();
+  }
+  if ((a.command == "diff" || a.command == "stats") && !a.flags_seen.empty()) {
+    // Pure-operand commands: a flag here would be silently ignored, which
+    // hides typos like `diff --baseline a.blog b.blog`.
+    std::cerr << "unexpected argument '" << a.flags_seen.front() << "' for "
+              << a.command << "\n";
     return usage();
   }
   auto world = harness::build_world();
