@@ -161,6 +161,27 @@ BENCHMARK(BM_RunCaseTraceMode)
     ->Arg(static_cast<int>(trace::TraceSink::Mode::kCountersOnly))
     ->Arg(static_cast<int>(trace::TraceSink::Mode::kFull));
 
+void BM_RunCaseSync(benchmark::State& state) {
+  // The synchronization growth group's hot path: handle resolution against
+  // the kernel-object table plus signaled-state bookkeeping per wait.
+  const auto variant = static_cast<sim::OsVariant>(state.range(0));
+  const core::MuT* mut = world().registry.find("WaitForSingleObject",
+                                               core::FuncGroup::kWin32Sync);
+  sim::Machine machine(variant);
+  core::Executor executor(machine);
+  core::TupleGenerator gen(*mut);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto r = executor.run_case(*mut, gen.tuple(i++ % gen.count()));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RunCaseSync)
+    ->Arg(static_cast<int>(sim::OsVariant::kWinNT4))
+    ->Arg(static_cast<int>(sim::OsVariant::kWin95))
+    ->Arg(static_cast<int>(sim::OsVariant::kWinCE));
+
 void BM_CrashAndReboot(benchmark::State& state) {
   const core::MuT* mut = world().registry.find("GetThreadContext");
   sim::Machine machine(sim::OsVariant::kWin98);
@@ -229,10 +250,62 @@ void write_trace_overhead_json() {
   std::ofstream("BENCH_trace.json") << json.str();
 }
 
+/// ns/case for the sync group's wait path per personality, plus whole-group
+/// campaign throughput, written to BENCH_sync.json.  The interesting spread
+/// is NT (every handle validated) vs Win95 (loose stubs skip the work).
+double sync_seconds_per_case(sim::OsVariant v, std::uint64_t cases) {
+  const core::MuT* mut = world().registry.find("WaitForSingleObject",
+                                               core::FuncGroup::kWin32Sync);
+  sim::Machine machine(v);
+  core::Executor executor(machine);
+  core::TupleGenerator gen(*mut);
+  for (std::uint64_t i = 0; i < cases / 10 + 1; ++i)
+    benchmark::DoNotOptimize(executor.run_case(*mut, gen.tuple(i % gen.count())));
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < cases; ++i)
+    benchmark::DoNotOptimize(executor.run_case(*mut, gen.tuple(i % gen.count())));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return secs / static_cast<double>(cases);
+}
+
+void write_sync_json() {
+  constexpr std::uint64_t kCases = 20'000;
+  double nt = 1e9, w95 = 1e9, ce = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    nt = std::min(nt, sync_seconds_per_case(sim::OsVariant::kWinNT4, kCases));
+    w95 = std::min(w95, sync_seconds_per_case(sim::OsVariant::kWin95, kCases));
+    ce = std::min(ce, sync_seconds_per_case(sim::OsVariant::kWinCE, kCases));
+  }
+  // Whole-group campaign throughput on NT4 (plan + execute + classify).
+  core::CampaignOptions opt;
+  opt.cap = 24;
+  opt.group_mask = core::group_bit(core::FuncGroup::kWin32Sync);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result =
+      core::Campaign::run(sim::OsVariant::kWinNT4, world().registry, opt);
+  const double campaign_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"sync_group\",\n"
+       << "  \"cases_per_variant\": " << kCases << ",\n"
+       << "  \"ns_per_wait_case\": {\"nt4\": " << nt * 1e9
+       << ", \"win95\": " << w95 * 1e9 << ", \"wince\": " << ce * 1e9
+       << "},\n"
+       << "  \"campaign_nt4\": {\"muts\": " << result.stats.size()
+       << ", \"cases\": " << result.total_cases << ", \"cases_per_sec\": "
+       << static_cast<double>(result.total_cases) / campaign_secs << "}\n}\n";
+  std::cout << json.str();
+  std::ofstream("BENCH_sync.json") << json.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_trace_overhead_json();
+  write_sync_json();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

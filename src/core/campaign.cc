@@ -27,8 +27,11 @@ CampaignResult Campaign::run_sequential(sim::OsVariant variant,
   std::int64_t last_corruptor = -1;
   int corruption_seen = machine.arena().corruption();
 
+  const std::uint32_t gmask =
+      opt.group_mask.value_or(kDefaultCampaignGroupMask);
   for (const MuT* mut : registry.for_variant(variant)) {
     if (opt.only_api && mut->api != *opt.only_api) continue;
+    if ((gmask & group_bit(mut->group)) == 0) continue;
 
     MutStats stats;
     stats.mut = mut;

@@ -110,6 +110,10 @@ struct CampaignOptions {
   /// Restrict to one ApiKind (e.g. C library only); nullopt = everything the
   /// variant supports.
   std::optional<ApiKind> only_api;
+  /// Restrict to a set of functional groups (bitmask over FuncGroup wire
+  /// ids, see core/groups.h).  Unset = the registry's default-campaign
+  /// groups; growth groups (e.g. Win32 sync) run only when selected here.
+  std::optional<std::uint32_t> group_mask;
   /// Load-testing hooks (paper §5 future work).  `machine_setup` runs once
   /// on the freshly booted machine (pre-aging, ambient state); `task_setup`
   /// runs in every test task after creation, before argument construction

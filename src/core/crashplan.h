@@ -37,12 +37,16 @@
 namespace ballista::core {
 
 inline constexpr std::uint32_t crash_group_bit(FuncGroup g) noexcept {
-  return 1u << static_cast<unsigned>(g);
+  return group_bit(g);
 }
-/// The two groups whose MuTs mutate the most persistent state.
+/// The groups whose MuTs mutate the most persistent state, per the
+/// `crash_default` column of the group registry (core/groups.h).
 inline constexpr std::uint32_t kDefaultCrashGroupMask =
-    crash_group_bit(FuncGroup::kFileDirAccess) |
-    crash_group_bit(FuncGroup::kMemoryManagement);
+    kDefaultCrashCampaignGroupMask;
+static_assert(kDefaultCrashGroupMask ==
+                  (crash_group_bit(FuncGroup::kFileDirAccess) |
+                   crash_group_bit(FuncGroup::kMemoryManagement)),
+              "crash_default rows changed: regenerate tests/golden/crash_*");
 
 /// Per-(case, k) outcome of one armed cut.
 enum class CrashVerdict : std::uint8_t {

@@ -1,0 +1,48 @@
+#include "core/groups.h"
+
+namespace ballista::core {
+
+const GroupDescriptor* group_from_token(std::string_view token) noexcept {
+  for (const auto& d : kGroupTable)
+    if (d.token == token) return &d;
+  return nullptr;
+}
+
+std::optional<std::uint32_t> parse_group_list(std::string_view list,
+                                              std::string* err) {
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string_view token =
+        list.substr(pos, comma == std::string_view::npos ? comma : comma - pos);
+    if (token.empty()) {
+      if (err) *err = "empty group token";
+      return std::nullopt;
+    }
+    if (token == "all") {
+      mask |= kEveryGroupMask;
+    } else if (const GroupDescriptor* d = group_from_token(token)) {
+      mask |= group_bit(d->id);
+    } else {
+      if (err)
+        *err = "unknown group '" + std::string(token) + "' (valid: " +
+               group_token_list() + ", all)";
+      return std::nullopt;
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+std::string group_token_list() {
+  std::string out;
+  for (const auto& d : kGroupTable) {
+    if (!out.empty()) out += ", ";
+    out += d.token;
+  }
+  return out;
+}
+
+}  // namespace ballista::core

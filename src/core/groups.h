@@ -1,0 +1,187 @@
+// The data-driven group registry: one table describing every functional
+// group (the paper's twelve categories of §3.3 / Table 2, plus growth
+// groups added since).  Everything that used to lean on enum-order
+// conventions — `kAllGroups`, `is_clib_group`, the default plan/crash
+// group masks, CLI tokens, diff/stats histograms — derives from
+// `kGroupTable` instead of enum arithmetic.
+//
+// Wire-id stability rules (the `.blog` store hashes the numeric group id
+// of every MuT into its fingerprint, see store/format.h):
+//   - A group's enum value is its wire id.  Ids are assigned once, in
+//     registration order, and NEVER renumbered, reordered or reused.
+//   - New groups append at the end of both the enum and kGroupTable with
+//     the next free id; kGroupTable[i].id == FuncGroup(i) is static_asserted.
+//   - A new group starts with `in_default_campaign = false` so committed
+//     golden `.blog` baselines for the original groups stay byte-identical;
+//     it flips to true only in a PR that also regenerates every golden.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ballista::core {
+
+enum class ApiKind : std::uint8_t { kWin32Sys, kPosixSys, kCLib };
+
+/// The functional groupings of Table 2 / Figure 1 (ids 0..11 are the paper's
+/// twelve; later ids are growth groups).  The numeric value is the wire id.
+enum class FuncGroup : std::uint8_t {
+  // system-call groups
+  kMemoryManagement = 0,
+  kFileDirAccess = 1,
+  kIoPrimitives = 2,
+  kProcessPrimitives = 3,
+  kProcessEnvironment = 4,
+  // C library groups
+  kCChar = 5,
+  kCString = 6,
+  kCMemory = 7,
+  kCFileIo = 8,    // "C file I/O management"
+  kCStreamIo = 9,  // "C stream I/O"
+  kCMath = 10,
+  kCTime = 11,
+  // growth groups (post-paper; see ROADMAP "new workload groups")
+  kWin32Sync = 12,
+};
+
+/// One row of the group registry.  Pure data: core must not depend on the
+/// api-layer registrars, so the descriptor names the calls file instead of
+/// holding a function pointer; harness/world.cc wires the registrar in.
+struct GroupDescriptor {
+  FuncGroup id;
+  /// Display name (Table 2 row label).
+  std::string_view name;
+  /// CLI token accepted by `--groups` and printed by `list-groups`.
+  std::string_view token;
+  /// Dominant ApiKind of the group's MuTs (informational; individual MuTs
+  /// carry their own ApiKind — e.g. I/O Primitives mixes Win32 and POSIX).
+  ApiKind api;
+  /// True for the C-library groups (replaces the old `g >= kCChar` test).
+  bool clib;
+  /// Included in campaign plans when no --groups filter is given.  Golden
+  /// `.blog` baselines cover exactly the default-campaign groups.
+  bool in_default_campaign;
+  /// Member of the default crash-consistency campaign mask
+  /// (CrashOptions::group_mask when the user passes no filter).
+  bool crash_default;
+  /// Characteristic value-pool datatypes (informational, for list-groups).
+  std::string_view pools;
+  /// Per-variant error-model / personality-dispatch note.
+  std::string_view dispatch;
+};
+
+inline constexpr std::array<GroupDescriptor, 13> kGroupTable = {{
+    {FuncGroup::kMemoryManagement, "Memory Management", "memory",
+     ApiKind::kWin32Sys, false, true, true, "ptr_buf, alloc_size, heap_handle",
+     "NT probes+SEH; Win9x stub checks; CE flat"},
+    {FuncGroup::kFileDirAccess, "File/Directory Access", "filedir",
+     ApiKind::kWin32Sys, false, true, true, "path, attr_flags, h_file",
+     "NT object manager; Win9x VFAT stubs"},
+    {FuncGroup::kIoPrimitives, "I/O Primitives", "io", ApiKind::kWin32Sys,
+     false, true, false, "h_any, ptr_buf, io_len",
+     "NT handle validation; Win9x loose checks"},
+    {FuncGroup::kProcessPrimitives, "Process Primitives", "process",
+     ApiKind::kWin32Sys, false, true, false, "h_process, h_thread, exit_code",
+     "NT rejects bad handles; Win9x silent stubs"},
+    {FuncGroup::kProcessEnvironment, "Process Environment", "environment",
+     ApiKind::kWin32Sys, false, true, false, "env_name, cstr, ptr_buf",
+     "mostly probed everywhere"},
+    {FuncGroup::kCChar, "C char", "cchar", ApiKind::kCLib, true, true, false,
+     "int_char", "no validation by contract"},
+    {FuncGroup::kCString, "C string", "cstring", ApiKind::kCLib, true, true,
+     false, "cstr, ptr_buf", "no validation by contract"},
+    {FuncGroup::kCMemory, "C memory", "cmemory", ApiKind::kCLib, true, true,
+     false, "ptr_buf, mem_len", "no validation by contract"},
+    {FuncGroup::kCFileIo, "C file I/O management", "cfileio", ApiKind::kCLib,
+     true, true, false, "path, mode_str, fd", "errno on probed paths"},
+    {FuncGroup::kCStreamIo, "C stream I/O", "cstreamio", ApiKind::kCLib, true,
+     true, false, "file_ptr, ptr_buf, fmt", "errno on probed paths"},
+    {FuncGroup::kCMath, "C math", "cmath", ApiKind::kCLib, true, true, false,
+     "dbl, int_val", "domain errors via errno"},
+    {FuncGroup::kCTime, "C time", "ctime", ApiKind::kCLib, true, true, false,
+     "time_ptr, tm_ptr", "no validation by contract"},
+    {FuncGroup::kWin32Sync, "Win32 Synchronization", "sync",
+     ApiKind::kWin32Sys, false, false, false,
+     "h_sync_*, sync_timeout, sync_handle_array, interlock_target",
+     "NT ERROR_INVALID_HANDLE; Win9x stubs silently succeed"},
+}};
+
+inline constexpr std::size_t kGroupCount = kGroupTable.size();
+
+constexpr const GroupDescriptor& group_descriptor(FuncGroup g) noexcept {
+  return kGroupTable[static_cast<std::size_t>(g)];
+}
+
+/// Every group, in wire-id order, derived from the table.
+inline constexpr auto kAllGroups = [] {
+  std::array<FuncGroup, kGroupCount> a{};
+  for (std::size_t i = 0; i < kGroupCount; ++i) a[i] = kGroupTable[i].id;
+  return a;
+}();
+
+constexpr std::string_view group_name(FuncGroup g) noexcept {
+  return group_descriptor(g).name;
+}
+constexpr bool is_clib_group(FuncGroup g) noexcept {
+  return group_descriptor(g).clib;
+}
+constexpr std::size_t group_index(FuncGroup g) noexcept {
+  return static_cast<std::size_t>(g);
+}
+constexpr std::uint32_t group_bit(FuncGroup g) noexcept {
+  return 1u << static_cast<unsigned>(g);
+}
+
+/// Groups included in a plan when no --groups filter is given.
+inline constexpr std::uint32_t kDefaultCampaignGroupMask = [] {
+  std::uint32_t m = 0;
+  for (const auto& d : kGroupTable)
+    if (d.in_default_campaign) m |= group_bit(d.id);
+  return m;
+}();
+
+/// Default crash-consistency campaign mask, derived from the table (the
+/// named constant crashplan.h re-exports as kDefaultCrashGroupMask).
+inline constexpr std::uint32_t kDefaultCrashCampaignGroupMask = [] {
+  std::uint32_t m = 0;
+  for (const auto& d : kGroupTable)
+    if (d.crash_default) m |= group_bit(d.id);
+  return m;
+}();
+
+inline constexpr std::uint32_t kEveryGroupMask = [] {
+  std::uint32_t m = 0;
+  for (const auto& d : kGroupTable) m |= group_bit(d.id);
+  return m;
+}();
+
+// Wire-id stability: ids are table positions, forever.
+static_assert([] {
+  for (std::size_t i = 0; i < kGroupCount; ++i)
+    if (group_index(kGroupTable[i].id) != i) return false;
+  return true;
+}(), "kGroupTable rows must appear in wire-id order");
+// The paper's twelve ids are frozen by committed golden .blog fingerprints.
+static_assert(group_index(FuncGroup::kMemoryManagement) == 0);
+static_assert(group_index(FuncGroup::kCChar) == 5);
+static_assert(group_index(FuncGroup::kCTime) == 11);
+static_assert(group_index(FuncGroup::kWin32Sync) == 12);
+static_assert(kDefaultCampaignGroupMask == 0x0fffu,
+              "flipping in_default_campaign invalidates every committed "
+              "golden baseline; regenerate them in the same change");
+
+/// nullptr when the token names no group.  Tokens are the `token` column.
+const GroupDescriptor* group_from_token(std::string_view token) noexcept;
+
+/// Parse a comma-separated token list ("sync,filedir") into a group bitmask.
+/// Returns nullopt and fills *err (if non-null) on an unknown/empty token.
+std::optional<std::uint32_t> parse_group_list(std::string_view list,
+                                              std::string* err);
+
+/// "memory, filedir, ..." — for usage/help text.
+std::string group_token_list();
+
+}  // namespace ballista::core

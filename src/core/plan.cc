@@ -22,8 +22,11 @@ Plan make_plan(sim::OsVariant variant, const Registry& registry,
                const PlanOptions& opt) {
   Plan plan;
   plan.variant = variant;
+  const std::uint32_t gmask =
+      opt.group_mask.value_or(kDefaultCampaignGroupMask);
   for (const MuT* mut : registry.for_variant(variant)) {
     if (opt.only_api && mut->api != *opt.only_api) continue;
+    if ((gmask & group_bit(mut->group)) == 0) continue;
     plan.muts.push_back(mut);
   }
 

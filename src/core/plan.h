@@ -69,6 +69,10 @@ struct PlanOptions {
   std::uint64_t cap = kDefaultCap;
   std::uint64_t seed = 0x8a11157a;
   std::optional<ApiKind> only_api;
+  /// Bitmask over FuncGroup wire ids (core/groups.h group_bit).  Unset means
+  /// the registry's default-campaign groups — NOT every group, so growth
+  /// groups stay out of the committed golden baselines until opted in.
+  std::optional<std::uint32_t> group_mask;
   /// Maximum case-range size when slicing hazard-free MuTs; larger MuTs are
   /// split into ceil(planned / shard_cases) shards.
   std::uint64_t shard_cases = 2048;

@@ -1,6 +1,8 @@
 // Module-under-Test registry: the catalog of API calls a campaign exercises,
-// grouped into the paper's twelve functional categories for normalized
-// cross-API comparison (§3.3).
+// grouped into functional categories for normalized cross-API comparison
+// (§3.3).  The categories themselves — names, CLI tokens, default-campaign
+// membership, wire ids — live in the data-driven group registry
+// (core/groups.h); this header holds the per-MuT catalog.
 #pragma once
 
 #include <array>
@@ -12,45 +14,12 @@
 
 #include "core/classify.h"
 #include "core/datatype.h"
+#include "core/groups.h"
 #include "sim/personality.h"
 
 namespace ballista::core {
 
 class CallContext;
-
-enum class ApiKind : std::uint8_t { kWin32Sys, kPosixSys, kCLib };
-
-/// The twelve functional groupings of Table 2 / Figure 1.
-enum class FuncGroup : std::uint8_t {
-  // system-call groups
-  kMemoryManagement,
-  kFileDirAccess,
-  kIoPrimitives,
-  kProcessPrimitives,
-  kProcessEnvironment,
-  // C library groups
-  kCChar,
-  kCString,
-  kCMemory,
-  kCFileIo,    // "C file I/O management"
-  kCStreamIo,  // "C stream I/O"
-  kCMath,
-  kCTime,
-};
-
-inline constexpr std::array<FuncGroup, 12> kAllGroups = {
-    FuncGroup::kMemoryManagement, FuncGroup::kFileDirAccess,
-    FuncGroup::kIoPrimitives,     FuncGroup::kProcessPrimitives,
-    FuncGroup::kProcessEnvironment, FuncGroup::kCChar,
-    FuncGroup::kCString,          FuncGroup::kCMemory,
-    FuncGroup::kCFileIo,          FuncGroup::kCStreamIo,
-    FuncGroup::kCMath,            FuncGroup::kCTime,
-};
-
-std::string_view group_name(FuncGroup g) noexcept;
-inline bool is_clib_group(FuncGroup g) noexcept {
-  return g >= FuncGroup::kCChar;
-}
 
 /// How a hazardous (unprobed) kernel path fails on a given variant:
 ///  - kImmediate: the stray kernel access kills the machine during the test
@@ -127,6 +96,22 @@ class Registry {
     for (const auto& m : muts_)
       if (m.name == name) return &m;
     return nullptr;
+  }
+
+  /// Group-qualified lookup: growth groups may re-register an API name that
+  /// already exists in a paper group (e.g. sync's CreateEvent vs the process
+  /// primitives one), so `repro` accepts "token:Name" to disambiguate.
+  const MuT* find(std::string_view name, FuncGroup group) const noexcept {
+    for (const auto& m : muts_)
+      if (m.group == group && m.name == name) return &m;
+    return nullptr;
+  }
+
+  std::size_t count_group(FuncGroup g) const noexcept {
+    std::size_t n = 0;
+    for (const auto& m : muts_)
+      if (m.group == g) ++n;
+    return n;
   }
 
   std::size_t count(sim::OsVariant v, ApiKind api) const noexcept {

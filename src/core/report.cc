@@ -23,6 +23,27 @@ bool shadowed_by_twin(const CampaignResult& r, const MutStats& s) {
   return false;
 }
 
+// Table 2 / Figure 1 render one column per group that actually has members
+// in the result set, in wire-id order: default campaigns show the paper's
+// twelve, a `--groups sync` campaign shows just the sync column, and no
+// all-N/A columns appear for groups outside the campaign's filter.
+std::vector<FuncGroup> groups_present(std::span<const CampaignResult> results) {
+  std::vector<FuncGroup> out;
+  for (FuncGroup g : kAllGroups) {
+    bool present = false;
+    for (const auto& r : results) {
+      for (const auto& s : r.stats)
+        if (s.mut->group == g) {
+          present = true;
+          break;
+        }
+      if (present) break;
+    }
+    if (present) out.push_back(g);
+  }
+  return out;
+}
+
 struct Acc {
   int tested = 0;
   int catastrophic = 0;
@@ -143,24 +164,6 @@ std::string percent(double rate, int decimals) {
   return buf;
 }
 
-std::string_view group_name(FuncGroup g) noexcept {
-  switch (g) {
-    case FuncGroup::kMemoryManagement: return "Memory Management";
-    case FuncGroup::kFileDirAccess: return "File/Directory Access";
-    case FuncGroup::kIoPrimitives: return "I/O Primitives";
-    case FuncGroup::kProcessPrimitives: return "Process Primitives";
-    case FuncGroup::kProcessEnvironment: return "Process Environment";
-    case FuncGroup::kCChar: return "C char";
-    case FuncGroup::kCString: return "C string";
-    case FuncGroup::kCMemory: return "C memory";
-    case FuncGroup::kCFileIo: return "C file I/O management";
-    case FuncGroup::kCStreamIo: return "C stream I/O";
-    case FuncGroup::kCMath: return "C math";
-    case FuncGroup::kCTime: return "C time";
-  }
-  return "?";
-}
-
 std::string_view outcome_name(Outcome o) noexcept {
   switch (o) {
     case Outcome::kPass: return "Pass";
@@ -204,9 +207,10 @@ void print_table2(std::ostream& os, std::span<const CampaignResult> results) {
   os << "(Catastrophic rates excluded from numbers; presence marked '*'; "
         "'N/A' = no data)\n";
   char line[512];
+  const std::vector<FuncGroup> groups = groups_present(results);
   std::snprintf(line, sizeof line, "%-16s", "OS");
   os << line;
-  for (FuncGroup g : kAllGroups) {
+  for (FuncGroup g : groups) {
     std::string gn{group_name(g)};
     if (gn.size() > 10) gn = gn.substr(0, 10);
     std::snprintf(line, sizeof line, " %10s", gn.c_str());
@@ -217,7 +221,7 @@ void print_table2(std::ostream& os, std::span<const CampaignResult> results) {
     std::snprintf(line, sizeof line, "%-16s",
                   std::string(sim::variant_name(r.variant)).c_str());
     os << line;
-    for (FuncGroup g : kAllGroups) {
+    for (FuncGroup g : groups) {
       const GroupRate gr = group_rate(r, g);
       std::string cell;
       if (gr.no_data && gr.functions == 0 && !gr.has_catastrophic) {
@@ -238,7 +242,7 @@ void print_figure1(std::ostream& os, std::span<const CampaignResult> results) {
   os << "Figure 1. Comparative robustness failure rates by functional "
         "category\n";
   constexpr int kWidth = 50;
-  for (FuncGroup g : kAllGroups) {
+  for (FuncGroup g : groups_present(results)) {
     os << "\n" << group_name(g) << "\n";
     for (const auto& r : results) {
       const GroupRate gr = group_rate(r, g);

@@ -214,6 +214,7 @@ Plan plan_for(sim::OsVariant variant, const Registry& registry,
   popt.cap = opt.cap;
   popt.seed = opt.seed;
   popt.only_api = opt.only_api;
+  popt.group_mask = opt.group_mask;
   popt.shard_cases = opt.shard_cases;
   popt.single_shard = static_cast<bool>(opt.machine_setup);
   return make_plan(variant, registry, popt);

@@ -22,16 +22,12 @@ bool counts_as_error(CaseCode c) {
   return false;
 }
 
-std::size_t group_index(FuncGroup g) {
-  return static_cast<std::size_t>(g) -
-         static_cast<std::size_t>(FuncGroup::kMemoryManagement);
-}
-
 }  // namespace
 
 VotingResult vote_silent(std::span<const CampaignResult> variants) {
   VotingResult out;
-  out.by_group.resize(variants.size());
+  out.by_group.assign(variants.size(),
+                      std::vector<SilentEstimate>(kGroupCount));
   out.overall_silent.resize(variants.size(), 0.0);
   out.per_mut.resize(variants.size());
 
@@ -68,7 +64,8 @@ VotingResult vote_silent(std::span<const CampaignResult> variants) {
     double silent_sum = 0, abort_sum = 0, restart_sum = 0;
     int n = 0;
   };
-  std::vector<std::array<GroupAcc, 12>> group_acc(variants.size());
+  std::vector<std::vector<GroupAcc>> group_acc(
+      variants.size(), std::vector<GroupAcc>(kGroupCount));
   std::vector<double> overall_sum(variants.size(), 0.0);
   std::vector<int> overall_n(variants.size(), 0);
 
@@ -102,7 +99,7 @@ VotingResult vote_silent(std::span<const CampaignResult> variants) {
   }
 
   for (std::size_t v = 0; v < variants.size(); ++v) {
-    for (std::size_t gi = 0; gi < 12; ++gi) {
+    for (std::size_t gi = 0; gi < kGroupCount; ++gi) {
       const auto& acc = group_acc[v][gi];
       auto& est = out.by_group[v][gi];
       est.functions = acc.n;
@@ -125,8 +122,14 @@ void print_figure2(std::ostream& os, std::span<const CampaignResult> variants,
   os << "Figure 2. Abort, Restart, and estimated Silent failure rates\n";
   os << "(stacked: '#' abort, 'o' restart, '.' estimated silent)\n";
   constexpr int kWidth = 50;
-  for (std::size_t gi = 0; gi < 12; ++gi) {
+  for (std::size_t gi = 0; gi < kGroupCount; ++gi) {
     const FuncGroup g = kAllGroups[gi];
+    // Groups with no eligible MuT in any variant (outside the campaign's
+    // group filter) are omitted rather than rendered as all-"no data" rows.
+    bool any = false;
+    for (std::size_t i = 0; i < variants.size() && !any; ++i)
+      any = !v.by_group[i][gi].no_data;
+    if (!any) continue;
     os << "\n" << group_name(g) << "\n";
     for (std::size_t i = 0; i < variants.size(); ++i) {
       const auto& est = v.by_group[i][gi];

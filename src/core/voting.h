@@ -33,8 +33,9 @@ struct SilentEstimate {
 };
 
 struct VotingResult {
-  /// results[variant index in input span][group]
-  std::vector<std::array<SilentEstimate, 12>> by_group;
+  /// results[variant index in input span][group wire id]; rows are sized
+  /// kGroupCount, indexed by core::group_index().
+  std::vector<std::vector<SilentEstimate>> by_group;
   /// Overall (uniform across MuTs) silent rate per variant.
   std::vector<double> overall_silent;
   /// Per-MuT voted silent rate, keyed by MuT name, per variant.

@@ -58,13 +58,19 @@ struct RunHeader {
   std::uint64_t shard_cases = 0;
   std::uint64_t plan_shards = 0;
   std::uint64_t total_planned = 0;
-  /// Crash-enumeration tail.  Base campaigns leave crash_mode 0 and the
-  /// encoder omits all three fields, so base-campaign headers (and their
-  /// logs) stay byte-identical to format version 1 before crash mode
-  /// existed; the decoder treats an absent tail as all-zero.
+  /// Optional tails.  Base campaigns leave both tails absent, so their
+  /// headers (and logs) stay byte-identical to format version 1 before
+  /// either existed; the decoder treats an absent tail as all-zero.  Each
+  /// tail is tagged by its leading byte — 1 = crash-enumeration tail,
+  /// 2 = group-filter tail — and tails appear in tag order, so every
+  /// header has exactly one encoding.
   std::uint8_t crash_mode = 0;  // 1 = crash-enumeration campaign
   std::uint64_t crash_max_cuts = 0;
-  std::uint32_t crash_group_mask = 0;  // bitmask over core::FuncGroup
+  std::uint32_t crash_group_mask = 0;  // bitmask over core::FuncGroup ids
+  /// Group-filter tail (tag 2): set when the campaign ran with an explicit
+  /// --groups mask instead of the registry's default-campaign groups.
+  std::uint8_t has_group_filter = 0;
+  std::uint32_t group_mask = 0;  // bitmask over core::FuncGroup wire ids
 
   friend bool operator==(const RunHeader& a, const RunHeader& b) noexcept {
     return a.variant == b.variant && a.mut_list_hash == b.mut_list_hash &&
@@ -76,7 +82,9 @@ struct RunHeader {
            a.total_planned == b.total_planned &&
            a.crash_mode == b.crash_mode &&
            a.crash_max_cuts == b.crash_max_cuts &&
-           a.crash_group_mask == b.crash_group_mask;
+           a.crash_group_mask == b.crash_group_mask &&
+           a.has_group_filter == b.has_group_filter &&
+           a.group_mask == b.group_mask;
   }
   friend bool operator!=(const RunHeader& a, const RunHeader& b) noexcept {
     return !(a == b);

@@ -82,6 +82,8 @@ RunHeader make_run_header(const core::Plan& plan,
   h.shard_cases = opt.shard_cases;
   h.plan_shards = plan.shards.size();
   h.total_planned = plan.total_planned;
+  h.has_group_filter = opt.group_mask.has_value() ? 1 : 0;
+  h.group_mask = opt.group_mask.value_or(0);
   return h;
 }
 
@@ -110,6 +112,8 @@ std::string describe_header_mismatch(const RunHeader& want,
   field("crash_mode", want.crash_mode, got.crash_mode);
   field("crash_max_cuts", want.crash_max_cuts, got.crash_max_cuts);
   field("crash_group_mask", want.crash_group_mask, got.crash_group_mask);
+  field("has_group_filter", want.has_group_filter, got.has_group_filter);
+  field("group_mask", want.group_mask, got.group_mask);
   return out;
 }
 
@@ -421,12 +425,18 @@ std::vector<std::uint8_t> encode_run_header(const RunHeader& h) {
   wire::put_u64(out, h.shard_cases);
   wire::put_u64(out, h.plan_shards);
   wire::put_u64(out, h.total_planned);
-  // Base campaigns omit the crash tail entirely, which keeps their headers
-  // (and therefore whole logs) byte-identical to pre-crash-mode builds.
+  // Optional tails, in tag order.  Default campaigns omit both entirely,
+  // which keeps their headers (and therefore whole logs) byte-identical to
+  // pre-tail builds.  The crash tail's tag byte doubles as crash_mode (its
+  // only valid value is 1); the group-filter tail is tag 2.
   if (h.crash_mode != 0) {
     wire::put_u8(out, h.crash_mode);
     wire::put_u64(out, h.crash_max_cuts);
     wire::put_u32(out, h.crash_group_mask);
+  }
+  if (h.has_group_filter != 0) {
+    wire::put_u8(out, 2);
+    wire::put_u32(out, h.group_mask);
   }
   return out;
 }
@@ -454,24 +464,44 @@ bool decode_run_header(const std::uint8_t* payload, std::size_t size,
       *has_api > 1 || *record_cases > 1 || *repro > 1 ||
       *api > static_cast<std::uint8_t>(core::ApiKind::kCLib))
     return false;
-  // Optional crash tail: absent on base-campaign (and legacy) headers.
+  // Optional tagged tails: absent on default-campaign (and legacy) headers.
+  // Tag 1 = crash-enumeration tail (the tag byte doubles as crash_mode),
+  // tag 2 = group-filter tail.  Tails must appear in ascending tag order at
+  // most once each, so every RunHeader value has exactly one encoding.
   std::uint8_t crash_mode = 0;
   std::uint64_t crash_max_cuts = 0;
   std::uint32_t crash_group_mask = 0;
-  if (r.pos != r.size) {
-    const auto mode = r.u8();
-    const auto max_cuts = r.u64();
-    const auto group_mask = r.u32();
-    if (!mode || *mode != 1 || !max_cuts || !group_mask || r.pos != r.size)
+  std::uint8_t has_group_filter = 0;
+  std::uint32_t group_mask = 0;
+  while (r.pos != r.size) {
+    const auto tag = r.u8();
+    if (!tag) return false;
+    if (*tag == 1) {
+      if (crash_mode != 0 || has_group_filter != 0) return false;
+      const auto max_cuts = r.u64();
+      const auto gmask = r.u32();
+      if (!max_cuts || !gmask) return false;
+      crash_mode = 1;
+      crash_max_cuts = *max_cuts;
+      crash_group_mask = *gmask;
+    } else if (*tag == 2) {
+      if (has_group_filter != 0) return false;
+      const auto gmask = r.u32();
+      // Fail-safe: a mask with bits past the registered groups comes from a
+      // newer build whose plan this one cannot reproduce.
+      if (!gmask || *gmask == 0 || (*gmask & ~core::kEveryGroupMask) != 0)
+        return false;
+      has_group_filter = 1;
+      group_mask = *gmask;
+    } else {
       return false;
-    crash_mode = *mode;
-    crash_max_cuts = *max_cuts;
-    crash_group_mask = *group_mask;
+    }
   }
   h = {*variant,   *mut_hash,      *pool_hash, *cap,
        *seed,      *has_api,       *api,       *record_cases,
        *repro,     *shard_cases,   *plan_shards, *total_planned,
-       crash_mode, crash_max_cuts, crash_group_mask};
+       crash_mode, crash_max_cuts, crash_group_mask,
+       has_group_filter, group_mask};
   return true;
 }
 
@@ -1033,6 +1063,8 @@ StoreRun load_result(const core::Registry& registry, const std::string& path) {
   opt.shard_cases = contents.header.shard_cases;
   if (contents.header.has_only_api != 0)
     opt.only_api = static_cast<core::ApiKind>(contents.header.only_api);
+  if (contents.header.has_group_filter != 0)
+    opt.group_mask = contents.header.group_mask;
 
   const core::Plan plan = core::plan_for(variant, registry, opt);
   const RunHeader want = make_run_header(plan, opt);

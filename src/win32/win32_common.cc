@@ -63,6 +63,10 @@ void register_win32(core::TypeLibrary& lib, core::Registry& reg) {
   register_io_calls(lib, reg);
   register_proc_calls(lib, reg);
   register_env_calls(lib, reg);
+  // Growth groups register after the paper groups so the original twelve
+  // keep their registry order (and Registry::find keeps resolving bare
+  // names to the paper MuTs; use "sync:Name" for the sync twins).
+  register_sync_calls(lib, reg);
 }
 
 }  // namespace ballista::win32

@@ -1,11 +1,17 @@
-// Unit tests for kernel objects and handle tables.
+// Unit tests for kernel objects and handle tables, plus the Win32 wait/
+// pseudo-handle constants and per-personality handle dispatch the sync
+// group leans on.
 #include <gtest/gtest.h>
 
 #include "sim/filesystem.h"
 #include "sim/kobject.h"
+#include "tests/test_util.h"
+#include "win32/win32.h"
 
 namespace ballista::sim {
 namespace {
+
+using ballista::testing::CallFixture;
 
 TEST(HandleTable, Win32NumberingIsMultiplesOfFour) {
   HandleTable t;
@@ -113,6 +119,96 @@ TEST(ThreadObject, StartsRunningWithStillActiveCode) {
   EXPECT_EQ(t.exit_code, 0x103u);  // STILL_ACTIVE
   t.context().regs[0] = 0xAA;
   EXPECT_EQ(t.context().regs[0], 0xAAu);
+}
+
+TEST(WaitConstants, MatchTheWin32Abi) {
+  EXPECT_EQ(win32::WAIT_OBJECT_0, 0u);
+  EXPECT_EQ(win32::WAIT_TIMEOUT, 0x102u);
+  EXPECT_EQ(win32::WAIT_FAILED, 0xffffffffu);
+  EXPECT_EQ(win32::INFINITE32, 0xffffffffu);
+  // GetCurrentProcess() and INVALID_HANDLE_VALUE share a bit pattern — the
+  // classic Win32 footgun the h_sync pools exercise on purpose.
+  EXPECT_EQ(win32::kPseudoCurrentProcess, 0xffffffffull);
+  EXPECT_EQ(win32::kPseudoCurrentThread, 0xfffffffeull);
+  EXPECT_EQ(win32::INVALID_HANDLE_VALUE32, win32::kPseudoCurrentProcess);
+}
+
+TEST(EventObject, ManualVsAutoResetState) {
+  EventObject manual(/*manual_reset=*/true, /*initial=*/true, "");
+  EXPECT_TRUE(manual.manual_reset());
+  EXPECT_TRUE(manual.signaled());
+  manual.set_signaled(false);  // ResetEvent
+  EXPECT_FALSE(manual.signaled());
+
+  EventObject auto_ev(/*manual_reset=*/false, /*initial=*/false, "");
+  EXPECT_FALSE(auto_ev.manual_reset());
+  EXPECT_FALSE(auto_ev.signaled());
+  auto_ev.set_signaled(true);  // SetEvent; a successful wait clears it
+  EXPECT_TRUE(auto_ev.signaled());
+}
+
+TEST(MutexObject, FreeMutexIsSignaled) {
+  MutexObject m(/*initially_owned=*/false, "");
+  EXPECT_FALSE(m.held());
+  EXPECT_TRUE(m.signaled());
+  m.set_held(true);  // a successful wait acquires it
+  EXPECT_FALSE(m.signaled());
+}
+
+TEST(SemaphoreObject, DrainedSemaphoreIsNotSignaled) {
+  SemaphoreObject s(0, 4, "");
+  EXPECT_FALSE(s.signaled());
+  EXPECT_TRUE(s.release(1));
+  EXPECT_TRUE(s.signaled());
+  EXPECT_FALSE(s.release(4));  // 1 + 4 > max: ERROR_TOO_MANY_POSTS shape
+  EXPECT_TRUE(s.release(3));   // exactly to the maximum is fine
+  EXPECT_EQ(s.count(), 4);
+}
+
+// The sync group's handle checks must dispatch identically on every variant:
+// pseudo-handles resolve to the current process/thread objects everywhere.
+TEST(CheckHandle, PseudoHandlesResolveOnEveryWindowsVariant) {
+  for (OsVariant v : kAllVariants) {
+    if (v == OsVariant::kLinux) continue;
+    CallFixture f(v);
+    auto ctx = f.ctx();
+    const auto pc = win32::check_handle(ctx, win32::kPseudoCurrentProcess);
+    EXPECT_FALSE(pc.fail) << variant_name(v);
+    EXPECT_EQ(pc.obj, f.proc->self_object()) << variant_name(v);
+    const auto pt = win32::check_handle(ctx, win32::kPseudoCurrentThread);
+    EXPECT_FALSE(pt.fail) << variant_name(v);
+    EXPECT_EQ(pt.obj, f.proc->main_thread()) << variant_name(v);
+  }
+}
+
+// A bad or wrong-kind handle splits by personality: the NT/CE families report
+// ERROR_INVALID_HANDLE, the loose Win9x stubs report success having done
+// nothing (the Silent failures Figure 2's voting surfaces).
+TEST(CheckHandle, BadHandleDispatchesPerPersonality) {
+  for (OsVariant v : kAllVariants) {
+    if (v == OsVariant::kLinux) continue;
+    CallFixture f(v);
+    // A kind mismatch must fail like a stale handle: an event handle is not
+    // a mutex.
+    const auto h =
+        f.proc->handles().insert(std::make_shared<EventObject>(true, true, ""));
+    auto ctx = f.ctx();
+    const auto stale = win32::check_handle(ctx, 0x4444, ObjectKind::kEvent);
+    const auto wrong = win32::check_handle(ctx, h, ObjectKind::kMutex);
+    for (const auto* r : {&stale, &wrong}) {
+      EXPECT_EQ(r->obj, nullptr) << variant_name(v);
+      ASSERT_TRUE(r->fail.has_value()) << variant_name(v);
+      if (personality_for(v).pointer_policy == PointerPolicy::kStubCheckLoose) {
+        EXPECT_EQ(r->fail->status, core::CallStatus::kSilentSuccess)
+            << variant_name(v);
+      } else {
+        EXPECT_EQ(r->fail->status, core::CallStatus::kErrorReported)
+            << variant_name(v);
+        EXPECT_EQ(f.proc->last_error(), win32::ERR_INVALID_HANDLE)
+            << variant_name(v);
+      }
+    }
+  }
 }
 
 }  // namespace

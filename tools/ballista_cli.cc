@@ -2,8 +2,10 @@
 //
 //   ballista_cli list-muts  [--os NAME] [--api sys|clib]
 //   ballista_cli list-types
+//   ballista_cli list-groups [--os NAME]    (the functional-group registry)
 //   ballista_cli run        [--os NAME] [--cap N] [--seed S] [--api sys|clib]
-//                           [--mut-csv FILE] [--value-csv FILE] [--analyze]
+//                           [--groups LIST] [--mut-csv FILE] [--value-csv FILE]
+//                           [--analyze]
 //   ballista_cli repro      --os NAME --mut NAME --case I [--cap N] [--seed S]
 //   ballista_cli crashes    [--os NAME] [--cap N]
 //   ballista_cli tables     [--cap N]        (tables 1-3 + figures 1-2)
@@ -18,7 +20,9 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <set>
 
 #include "core/ballista.h"
 #include "core/diff.h"
@@ -48,6 +52,9 @@ struct Args {
   std::uint64_t seed = 0x8a11157a;
   std::string mut;
   std::uint64_t case_index = 0;
+  /// --groups LIST (run): comma-separated group tokens restricting the
+  /// campaign (see `list-groups`); empty = the default-campaign groups.
+  std::string groups;
   std::string mut_csv, value_csv;
   bool analyze = false;
   unsigned jobs = 1;
@@ -102,6 +109,9 @@ Args parse_args(int argc, char** argv) {
       a.mut = next();
     } else if (flag == "--case") {
       a.case_index = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--groups") {
+      a.groups = next();
+      if (a.groups.empty()) a.ok = false;
     } else if (flag == "--mut-csv") {
       a.mut_csv = next();
     } else if (flag == "--value-csv") {
@@ -155,18 +165,23 @@ int usage() {
       "usage: ballista_cli <command> [flags]\n"
       "  list-muts [--os NAME] [--api sys|clib]   catalog of modules under test\n"
       "  list-types                               data types and value pools\n"
+      "  list-groups [--os NAME]                  functional-group registry\n"
       "  run [--os NAME] [--cap N] [--seed S] [--api sys|clib] [--jobs N]\n"
-      "      [--mut-csv F] [--value-csv F] [--analyze]\n"
+      "      [--groups LIST] [--mut-csv F] [--value-csv F] [--analyze]\n"
       "      [--trace[=N]] [--event-counters] [--crash-points[=N]]\n"
       "      [--store F.blog | --resume F.blog] [--baseline F.blog]\n"
       "  repro --os NAME --mut NAME --case I [--trace[=N]] [--cut K]\n"
       "                                           single-test reproduction\n"
+      "                                           (--mut accepts group:Name)\n"
       "  crashes [--os NAME] [--cap N] [--jobs N] Catastrophic function lists\n"
       "  tables [--cap N] [--jobs N]              all paper tables and figures\n"
       "  diff BASELINE.blog NEW.blog              cross-run regression diff\n"
       "  stats FILE.blog                          sealed-log summary (CRASH\n"
       "                                           histogram, worst MuTs)\n"
       "OS names: win95 win98 win98se nt4 win2000 wince linux\n"
+      "--groups LIST restricts a run to comma-separated group tokens (see\n"
+      "`list-groups`; 'all' = every group including growth groups).  The\n"
+      "default campaign covers the paper's twelve groups only.\n"
       "--jobs N runs each campaign on N worker machines; results are\n"
       "identical for every N (deterministic sharded engine).\n"
       "--trace[=N] dumps the causal event chain behind each Catastrophic\n"
@@ -186,6 +201,55 @@ int usage() {
 core::ApiKind sys_kind_for(sim::OsVariant v) {
   return v == sim::OsVariant::kLinux ? core::ApiKind::kPosixSys
                                      : core::ApiKind::kWin32Sys;
+}
+
+/// Resolved --groups filter.  A list equal to the default-campaign set
+/// normalizes to "no filter" so `run` and `run --groups <defaults>` produce
+/// byte-identical logs (same RunHeader, no group-filter tail).
+struct GroupsArg {
+  bool ok = true;
+  std::optional<std::uint32_t> mask;
+};
+
+GroupsArg parse_groups(const Args& a) {
+  GroupsArg g;
+  if (a.groups.empty()) return g;
+  std::string err;
+  const auto mask = core::parse_group_list(a.groups, &err);
+  if (!mask) {
+    std::cerr << err << "\n";
+    g.ok = false;
+    return g;
+  }
+  if (*mask != core::kDefaultCampaignGroupMask) g.mask = *mask;
+  return g;
+}
+
+int cmd_list_groups(const harness::World& world, const Args& a) {
+  const char* api_names[] = {"win32", "posix", "clib"};
+  std::cout << "id  token        group                     api    default  "
+               "crash  MuTs\n";
+  for (const core::GroupDescriptor& d : core::kGroupTable) {
+    std::size_t muts = 0;
+    for (const auto& m : world.registry.muts()) {
+      if (m.group != d.id) continue;
+      if (a.os && !m.supported_on(*a.os)) continue;
+      ++muts;
+    }
+    std::cout << std::left << std::setw(4)
+              << static_cast<unsigned>(core::group_index(d.id))
+              << std::setw(13) << d.token << std::setw(26) << d.name
+              << std::setw(7) << api_names[static_cast<unsigned>(d.api)]
+              << std::setw(9) << (d.in_default_campaign ? "yes" : "no")
+              << std::setw(7) << (d.crash_default ? "yes" : "no") << muts
+              << "\n";
+    std::cout << "      pools: " << d.pools << "\n";
+    std::cout << "      dispatch: " << d.dispatch << "\n";
+  }
+  std::cout << std::right << "-- " << core::kGroupCount << " groups";
+  if (a.os) std::cout << " (MuT counts for " << sim::variant_name(*a.os) << ")";
+  std::cout << "\n";
+  return 0;
 }
 
 std::vector<sim::OsVariant> os_list(const Args& a) {
@@ -270,7 +334,8 @@ void print_crash_summary(std::ostream& os,
          << (f.detail.empty() ? "" : "  (" + f.detail + ")") << "\n";
 }
 
-int cmd_run_crash(const harness::World& world, const Args& a) {
+int cmd_run_crash(const harness::World& world, const Args& a,
+                  const GroupsArg& groups) {
   if (a.api) {
     std::cerr << "--api does not apply to crash enumeration (the group mask "
                  "selects the MuTs)\n";
@@ -283,6 +348,8 @@ int cmd_run_crash(const harness::World& world, const Args& a) {
     opt.seed = a.seed;
     opt.jobs = a.jobs;
     opt.max_cuts = *a.crash_points;
+    // --groups overrides the default crash mask (filedir|memory).
+    if (groups.mask) opt.group_mask = *groups.mask;
     if (!a.store.empty() || !a.resume.empty()) {
       const bool resume = !a.resume.empty();
       const std::string& path = resume ? a.resume : a.store;
@@ -332,13 +399,16 @@ int cmd_run(const harness::World& world, const Args& a) {
                  "(a campaign log holds one OS variant)\n";
     return 2;
   }
-  if (a.crash_points) return cmd_run_crash(world, a);
+  const GroupsArg groups = parse_groups(a);
+  if (!groups.ok) return 2;
+  if (a.crash_points) return cmd_run_crash(world, a, groups);
   std::vector<core::CampaignResult> results;
   for (sim::OsVariant v : os_list(a)) {
     core::CampaignOptions opt;
     opt.cap = a.cap;
     opt.seed = a.seed;
     opt.jobs = a.jobs;
+    opt.group_mask = groups.mask;
     if (a.api)
       opt.only_api =
           *a.api == core::ApiKind::kWin32Sys ? sys_kind_for(v) : *a.api;
@@ -542,7 +612,21 @@ int cmd_stats(const harness::World& world, const Args& a) {
 
 int cmd_repro(const harness::World& world, const Args& a) {
   if (!a.os || a.mut.empty()) return usage();
-  const core::MuT* mut = world.registry.find(a.mut);
+  // "group:Name" disambiguates API names that exist in more than one group
+  // (sync re-registers e.g. CreateEvent; bare names resolve to the paper MuT).
+  const core::MuT* mut = nullptr;
+  if (const auto colon = a.mut.find(':'); colon != std::string::npos) {
+    const core::GroupDescriptor* d =
+        core::group_from_token(a.mut.substr(0, colon));
+    if (d == nullptr) {
+      std::cerr << "unknown group '" << a.mut.substr(0, colon) << "' (valid: "
+                << core::group_token_list() << ")\n";
+      return 1;
+    }
+    mut = world.registry.find(a.mut.substr(colon + 1), d->id);
+  } else {
+    mut = world.registry.find(a.mut);
+  }
   if (mut == nullptr) {
     std::cerr << "no such MuT: " << a.mut << "\n";
     return 1;
@@ -627,23 +711,55 @@ int cmd_tables(const harness::World& world, const Args& a) {
 
 }  // namespace
 
+/// Flags each subcommand accepts.  Anything else — a flag that belongs to a
+/// different subcommand, or a trailing operand — would be silently ignored,
+/// which hides typos like `repro --store x.blog` or `run nt4`; reject with
+/// usage + exit 2 instead (same contract as the diff/stats operand checks).
+const std::set<std::string>* allowed_flags(const std::string& command) {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"list-muts", {"--os", "--api"}},
+      {"list-types", {}},
+      {"list-groups", {"--os"}},
+      {"run",
+       {"--os", "--cap", "--seed", "--api", "--jobs", "--groups", "--mut-csv",
+        "--value-csv", "--analyze", "--trace", "--event-counters",
+        "--crash-points", "--store", "--resume", "--baseline"}},
+      {"repro",
+       {"--os", "--mut", "--case", "--cap", "--seed", "--trace", "--cut",
+        "--event-counters"}},
+      {"crashes", {"--os", "--cap", "--seed", "--jobs", "--trace",
+                   "--event-counters"}},
+      {"tables", {"--cap", "--seed", "--jobs"}},
+      {"diff", {}},
+      {"stats", {}},
+  };
+  const auto it = kAllowed.find(command);
+  return it == kAllowed.end() ? nullptr : &it->second;
+}
+
 int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
   if (!a.ok) return usage();
-  if (a.command != "diff" && a.command != "stats" && !a.positional.empty()) {
-    std::cerr << "unexpected operand '" << a.positional.front() << "'\n";
-    return usage();
+  const std::set<std::string>* allowed = allowed_flags(a.command);
+  if (allowed != nullptr) {
+    for (const std::string& f : a.flags_seen) {
+      const std::string base = f.substr(0, f.find('='));  // --trace=8 → --trace
+      if (allowed->count(base) == 0) {
+        std::cerr << "unexpected argument '" << base << "' for " << a.command
+                  << "\n";
+        return usage();
+      }
+    }
   }
-  if ((a.command == "diff" || a.command == "stats") && !a.flags_seen.empty()) {
-    // Pure-operand commands: a flag here would be silently ignored, which
-    // hides typos like `diff --baseline a.blog b.blog`.
-    std::cerr << "unexpected argument '" << a.flags_seen.front() << "' for "
+  if (a.command != "diff" && a.command != "stats" && !a.positional.empty()) {
+    std::cerr << "unexpected argument '" << a.positional.front() << "' for "
               << a.command << "\n";
     return usage();
   }
   auto world = harness::build_world();
   if (a.command == "list-muts") return cmd_list_muts(*world, a);
   if (a.command == "list-types") return cmd_list_types(*world);
+  if (a.command == "list-groups") return cmd_list_groups(*world, a);
   if (a.command == "run") return cmd_run(*world, a);
   if (a.command == "repro") return cmd_repro(*world, a);
   if (a.command == "crashes") return cmd_crashes(*world, a);
