@@ -45,6 +45,7 @@ enum class FuncGroup : std::uint8_t {
   kCTime = 11,
   // growth groups (post-paper; see ROADMAP "new workload groups")
   kWin32Sync = 12,
+  kSockets = 13,
 };
 
 /// One row of the group registry.  Pure data: core must not depend on the
@@ -73,7 +74,7 @@ struct GroupDescriptor {
   std::string_view dispatch;
 };
 
-inline constexpr std::array<GroupDescriptor, 13> kGroupTable = {{
+inline constexpr std::array<GroupDescriptor, 14> kGroupTable = {{
     {FuncGroup::kMemoryManagement, "Memory Management", "memory",
      ApiKind::kWin32Sys, false, true, true, "ptr_buf, alloc_size, heap_handle",
      "NT probes+SEH; Win9x stub checks; CE flat"},
@@ -107,6 +108,10 @@ inline constexpr std::array<GroupDescriptor, 13> kGroupTable = {{
      ApiKind::kWin32Sys, false, false, false,
      "h_sync_*, sync_timeout, sync_handle_array, interlock_target",
      "NT ERROR_INVALID_HANDLE; Win9x stubs silently succeed"},
+    {FuncGroup::kSockets, "Sockets", "sockets", ApiKind::kWin32Sys, false,
+     false, false,
+     "h_socket, sockaddr_ptr, sock_addrlen, sock_flags, sock_opt_*",
+     "NT WSAENOTSOCK+kernel copy-in; Win9x stubs; Linux ENOTSOCK/EFAULT"},
 }};
 
 inline constexpr std::size_t kGroupCount = kGroupTable.size();
@@ -169,6 +174,7 @@ static_assert(group_index(FuncGroup::kMemoryManagement) == 0);
 static_assert(group_index(FuncGroup::kCChar) == 5);
 static_assert(group_index(FuncGroup::kCTime) == 11);
 static_assert(group_index(FuncGroup::kWin32Sync) == 12);
+static_assert(group_index(FuncGroup::kSockets) == 13);
 static_assert(kDefaultCampaignGroupMask == 0x0fffu,
               "flipping in_default_campaign invalidates every committed "
               "golden baseline; regenerate them in the same change");

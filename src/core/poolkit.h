@@ -1,0 +1,56 @@
+// Shared value-pool building blocks for the API-layer type registrars.
+//
+// Every handle/pointer pool ends with the same reject tail — the closed
+// handle, the wrong-kind handle, and the NULL / dangling / kernel-space /
+// unaligned / garbage pointers whose copy-in behaviour separates the
+// personalities.  sync_calls.cc and the socket registrars build those values
+// through these helpers instead of keeping per-file copies.
+//
+// Wire caution: a pool's value NAMES, ORDER and exceptional flags are hashed
+// into the `.blog` RunHeader fingerprint (store::value_pool_hash), so the
+// helpers take explicit per-value names and append in caller order — a
+// refactor onto poolkit must reproduce the pre-refactor sequence exactly or
+// committed golden baselines stop matching.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "core/datatype.h"
+#include "sim/kobject.h"
+
+namespace ballista::core::poolkit {
+
+/// Inserts `obj` into the process handle table, then closes the handle:
+/// the canonical stale-handle test value.
+std::uint64_t insert_closed_handle(ValueCtx& c,
+                                   std::shared_ptr<sim::KernelObject> obj);
+
+/// A read handle to the disk fixture file: the canonical wrong-kind handle
+/// for pools whose MuTs expect a non-file kernel object.
+std::uint64_t insert_fixture_file_handle(ValueCtx& c);
+
+/// The bad-pointer species every pointer pool draws its reject tail from.
+enum class BadPtr : std::uint8_t {
+  kNull,       // 0
+  kDangling,   // freed allocation of `arg` bytes
+  kKernel,     // kernel-space address `arg`
+  kUnaligned,  // alloc(arg) + 1
+  kGarbage,    // raw value `arg`, resembling nothing mapped
+};
+
+struct BadPtrSpec {
+  BadPtr kind;
+  std::string_view name;
+  /// kDangling/kUnaligned: allocation size; kKernel: address; kGarbage: the
+  /// raw value.  Ignored for kNull.
+  std::uint64_t arg = 0;
+};
+
+/// Appends one exceptional test value per spec, in spec order.
+DataType& add_bad_pointer_values(DataType& t,
+                                 std::initializer_list<BadPtrSpec> specs);
+
+}  // namespace ballista::core::poolkit

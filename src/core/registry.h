@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,18 @@ class Registry {
   const MuT* find(std::string_view name, FuncGroup group) const noexcept {
     for (const auto& m : muts_)
       if (m.group == group && m.name == name) return &m;
+    return nullptr;
+  }
+
+  /// Variant-aware lookup: the sockets group registers a Win32 and a POSIX
+  /// MuT under the same API name (e.g. `socket`), distinguishable only by
+  /// which variants support them — repro resolves through the target OS.
+  const MuT* find(std::string_view name, std::optional<FuncGroup> group,
+                  sim::OsVariant v) const noexcept {
+    for (const auto& m : muts_)
+      if ((!group || m.group == *group) && m.name == name &&
+          m.supported_on(v))
+        return &m;
     return nullptr;
   }
 

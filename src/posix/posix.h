@@ -48,5 +48,9 @@ void register_posix_fs(core::TypeLibrary& lib, core::Registry& reg);
 void register_posix_io(core::TypeLibrary& lib, core::Registry& reg);
 void register_posix_proc(core::TypeLibrary& lib, core::Registry& reg);
 void register_posix_env(core::TypeLibrary& lib, core::Registry& reg);
+/// The sockets growth group (FuncGroup::kSockets), BSD flavor: -1/errno
+/// returns, EBADF vs ENOTSOCK fd rejection, EFAULT on bad sockaddr copies.
+/// Pools are shared with the Winsock flavor (core/socket_types.h).
+void register_posix_socket(core::TypeLibrary& lib, core::Registry& reg);
 
 }  // namespace ballista::posix_api

@@ -47,6 +47,8 @@ void register_posix(core::TypeLibrary& lib, core::Registry& reg) {
   register_posix_io(lib, reg);
   register_posix_proc(lib, reg);
   register_posix_env(lib, reg);
+  // Growth group: registered last so the 91 paper MuTs keep their order.
+  register_posix_socket(lib, reg);
 }
 
 }  // namespace ballista::posix_api

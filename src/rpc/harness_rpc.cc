@@ -171,6 +171,9 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
   };
 
   for (const core::MuT* mut : registry_.for_variant(variant)) {
+    // Match Campaign::run's default scope: growth groups (sync, sockets) are
+    // opt-in and never shipped over the test-harness wire.
+    if (!core::group_descriptor(mut->group).in_default_campaign) continue;
     core::MutStats stats;
     stats.mut = mut;
     core::TupleGenerator gen(*mut, cap_, seed_);
@@ -300,6 +303,7 @@ core::CampaignResult run_ce_file_drop_campaign(const core::Registry& registry,
   };
 
   for (const core::MuT* mut : registry.for_variant(sim::OsVariant::kWinCE)) {
+    if (!core::group_descriptor(mut->group).in_default_campaign) continue;
     core::MutStats stats;
     stats.mut = mut;
     core::TupleGenerator gen(*mut, cap, seed);

@@ -53,6 +53,7 @@ std::string_view object_kind_name(ObjectKind k) noexcept {
     case ObjectKind::kPipe: return "Pipe";
     case ObjectKind::kModule: return "Module";
     case ObjectKind::kStdStream: return "StdStream";
+    case ObjectKind::kSocket: return "Socket";
   }
   return "Unknown";
 }

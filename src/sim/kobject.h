@@ -34,6 +34,7 @@ enum class ObjectKind : std::uint8_t {
   kPipe,
   kModule,
   kStdStream,
+  kSocket,  // net/netstack.h SocketObject (growth: sockets group)
 };
 
 std::string_view object_kind_name(ObjectKind k) noexcept;

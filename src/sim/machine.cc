@@ -90,6 +90,9 @@ void Machine::restore(RestoreLevel level) {
       fs_.rebuild_fixture();
     else
       fs_.restore_fixture();
+    // Port bindings are case-local like temp files; a leaked binding would
+    // make case outcomes depend on what ran before them.
+    net_.reset();
     return;
   }
 
@@ -104,6 +107,7 @@ void Machine::restore(RestoreLevel level) {
     fs_.rebuild_fixture();
   else
     fs_.restore_fixture();
+  net_.reset();
   trace_.emit(trace::reboot_event(panic_count_));
 
   if (level == RestoreLevel::kFullReset) {

@@ -12,6 +12,7 @@
 #include "sim/addrspace.h"
 #include "sim/filesystem.h"
 #include "sim/mutation.h"
+#include "sim/net/netstack.h"
 #include "sim/personality.h"
 #include "sim/process.h"
 
@@ -53,6 +54,11 @@ class Machine {
 
   FileSystem& fs() noexcept { return fs_; }
   SharedArena& arena() noexcept { return arena_; }
+
+  /// The simulated loopback network (DESIGN.md §12).  Port bindings are
+  /// machine-wide state like the filesystem, and reset with it.
+  NetStack& net() noexcept { return net_; }
+  const NetStack& net() const noexcept { return net_; }
 
   /// The machine's event spine: every kernel-side actor (panic/fuse/MMU
   /// fault paths, CallContext probes, the executor) emits through this sink.
@@ -142,6 +148,7 @@ class Machine {
   Personality pers_;
   SharedArena arena_;
   FileSystem fs_;
+  NetStack net_;
   trace::TraceSink trace_;
   MutationHub mutations_;
   static constexpr std::uint64_t kBootTicks = 1'000'000;

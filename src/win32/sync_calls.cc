@@ -15,6 +15,7 @@
 // *Interlocked* deferred hazards), which this group carries too.
 #include <vector>
 
+#include "core/poolkit.h"
 #include "win32/win32.h"
 
 namespace ballista::win32 {
@@ -24,6 +25,7 @@ namespace {
 using core::ok;
 using core::RawArg;
 using core::ValueCtx;
+using core::poolkit::BadPtr;
 
 // --- value-pool helpers ------------------------------------------------------
 
@@ -44,19 +46,6 @@ std::uint64_t insert_semaphore(ValueCtx& c, std::int64_t initial,
       initial, maximum, std::move(name)));
 }
 
-std::uint64_t insert_file_handle(ValueCtx& c) {
-  auto& fs = c.machine.fs();
-  auto node = fs.resolve(fs.parse("/tmp/fixture.dat", c.proc.cwd()));
-  return c.proc.handles().insert(std::make_shared<sim::FileObject>(
-      node, sim::FileObject::kAccessRead, false));
-}
-
-std::uint64_t insert_closed(ValueCtx& c, std::shared_ptr<sim::KernelObject> o) {
-  const auto h = c.proc.handles().insert(std::move(o));
-  c.proc.handles().close(h);
-  return h;
-}
-
 void register_sync_types(core::TypeLibrary& lib) {
   if (lib.has("h_sync_event")) return;  // idempotent across re-registration
 
@@ -73,11 +62,11 @@ void register_sync_types(core::TypeLibrary& lib) {
            [](ValueCtx& c) { return insert_event(c, true, false); })
       .add("ev_closed", true,
            [](ValueCtx& c) {
-             return insert_closed(
+             return core::poolkit::insert_closed_handle(
                  c, std::make_shared<sim::EventObject>(true, true, ""));
            })
       .add("ev_wrong_kind_file", true,
-           [](ValueCtx& c) { return insert_file_handle(c); })
+           [](ValueCtx& c) { return core::poolkit::insert_fixture_file_handle(c); })
       .add("ev_wrong_kind_mutex", true,
            [](ValueCtx& c) { return insert_mutex(c, false); })
       .add("ev_pseudo_process", true,
@@ -91,7 +80,7 @@ void register_sync_types(core::TypeLibrary& lib) {
       .add("mx_free", false, [](ValueCtx& c) { return insert_mutex(c, false); })
       .add("mx_closed", true,
            [](ValueCtx& c) {
-             return insert_closed(
+             return core::poolkit::insert_closed_handle(
                  c, std::make_shared<sim::MutexObject>(true, ""));
            })
       .add("mx_wrong_kind_event", true,
@@ -111,11 +100,11 @@ void register_sync_types(core::TypeLibrary& lib) {
            [](ValueCtx& c) { return insert_semaphore(c, 0, 4); })
       .add("sem_closed", true,
            [](ValueCtx& c) {
-             return insert_closed(
+             return core::poolkit::insert_closed_handle(
                  c, std::make_shared<sim::SemaphoreObject>(1, 4, ""));
            })
       .add("sem_wrong_kind_file", true,
-           [](ValueCtx& c) { return insert_file_handle(c); })
+           [](ValueCtx& c) { return core::poolkit::insert_fixture_file_handle(c); })
       .add("sem_null", true, [](ValueCtx&) { return RawArg{0}; })
       .add("sem_kernel_addr", true, [](ValueCtx&) { return RawArg{0xC0004000}; });
 
@@ -143,7 +132,7 @@ void register_sync_types(core::TypeLibrary& lib) {
            [](ValueCtx&) { return kPseudoCurrentProcess; })
       .add("w_closed", true,
            [](ValueCtx& c) {
-             return insert_closed(
+             return core::poolkit::insert_closed_handle(
                  c, std::make_shared<sim::EventObject>(true, false, ""));
            })
       .add("w_null", true, [](ValueCtx&) { return RawArg{0}; })
@@ -195,7 +184,7 @@ void register_sync_types(core::TypeLibrary& lib) {
                  sim::Access::kKernel);
              c.proc.mem().write_u32(
                  a + 4,
-                 static_cast<std::uint32_t>(insert_closed(
+                 static_cast<std::uint32_t>(core::poolkit::insert_closed_handle(
                      c, std::make_shared<sim::EventObject>(true, true, ""))),
                  sim::Access::kKernel);
              return a;
@@ -206,13 +195,12 @@ void register_sync_types(core::TypeLibrary& lib) {
              c.proc.mem().write_u32(a, 0xdeadbeef, sim::Access::kKernel);
              c.proc.mem().write_u32(a + 4, 0, sim::Access::kKernel);
              return a;
-           })
-      .add("sarr_null", true, [](ValueCtx&) { return RawArg{0}; })
-      .add("sarr_dangling", true,
-           [](ValueCtx& c) { return c.proc.mem().alloc_dangling(16); })
-      .add("sarr_kernel", true, [](ValueCtx&) { return RawArg{0xC0005000}; })
-      .add("sarr_unaligned", true,
-           [](ValueCtx& c) { return c.proc.mem().alloc(20) + 1; });
+           });
+  core::poolkit::add_bad_pointer_values(
+      t_arr, {{BadPtr::kNull, "sarr_null"},
+              {BadPtr::kDangling, "sarr_dangling", 16},
+              {BadPtr::kKernel, "sarr_kernel", 0xC0005000},
+              {BadPtr::kUnaligned, "sarr_unaligned", 20}});
 
   // ReleaseSemaphore counts: 1/2 are in-range for the pool's semaphores;
   // 0, negative and huge must be rejected with ERROR_INVALID_PARAMETER /
@@ -247,12 +235,12 @@ void register_sync_types(core::TypeLibrary& lib) {
              const auto a = c.proc.mem().alloc(8);
              c.proc.mem().write_u8(a + 1, 7, sim::Access::kKernel);
              return a + 1;
-           })
-      .add("il_null", true, [](ValueCtx&) { return RawArg{0}; })
-      .add("il_kernel", true, [](ValueCtx&) { return RawArg{0xC0004000}; })
-      .add("il_dangling", true,
-           [](ValueCtx& c) { return c.proc.mem().alloc_dangling(4); })
-      .add("il_garbage", true, [](ValueCtx&) { return RawArg{0x31337}; });
+           });
+  core::poolkit::add_bad_pointer_values(
+      t_il, {{BadPtr::kNull, "il_null"},
+             {BadPtr::kKernel, "il_kernel", 0xC0004000},
+             {BadPtr::kDangling, "il_dangling", 4},
+             {BadPtr::kGarbage, "il_garbage", 0x31337}});
 
   // Names for the Open* family.  The "present" values create the named
   // object in the handle table first, so a correct Open duplicates it; the
@@ -277,11 +265,11 @@ void register_sync_types(core::TypeLibrary& lib) {
       .add("name_absent", false,
            [](ValueCtx& c) { return c.proc.mem().alloc_cstr("no-such-obj"); })
       .add("name_empty", true,
-           [](ValueCtx& c) { return c.proc.mem().alloc_cstr(""); })
-      .add("name_null", true, [](ValueCtx&) { return RawArg{0}; })
-      .add("name_dangling", true,
-           [](ValueCtx& c) { return c.proc.mem().alloc_dangling(32); })
-      .add("name_kernel", true, [](ValueCtx&) { return RawArg{0xC0002000}; });
+           [](ValueCtx& c) { return c.proc.mem().alloc_cstr(""); });
+  core::poolkit::add_bad_pointer_values(
+      t_name, {{BadPtr::kNull, "name_null"},
+               {BadPtr::kDangling, "name_dangling", 32},
+               {BadPtr::kKernel, "name_kernel", 0xC0002000}});
 }
 
 // --- call implementations ----------------------------------------------------

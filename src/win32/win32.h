@@ -45,6 +45,29 @@ inline constexpr std::uint32_t ERR_LOCK_VIOLATION = 33;
 inline constexpr std::uint32_t ERR_NOT_OWNER = 288;
 inline constexpr std::uint32_t ERR_TOO_MANY_POSTS = 298;
 
+// Winsock error codes (WSAGetLastError shares the GetLastError slot).
+inline constexpr std::uint32_t WSAEFAULT = 10014;
+inline constexpr std::uint32_t WSAEINVAL = 10022;
+inline constexpr std::uint32_t WSAEWOULDBLOCK = 10035;
+inline constexpr std::uint32_t WSAENOTSOCK = 10038;
+inline constexpr std::uint32_t WSAEMSGSIZE = 10040;
+inline constexpr std::uint32_t WSAENOPROTOOPT = 10042;
+inline constexpr std::uint32_t WSAEPROTONOSUPPORT = 10043;
+inline constexpr std::uint32_t WSAESOCKTNOSUPPORT = 10044;
+inline constexpr std::uint32_t WSAEOPNOTSUPP = 10045;
+inline constexpr std::uint32_t WSAEAFNOSUPPORT = 10047;
+inline constexpr std::uint32_t WSAEADDRINUSE = 10048;
+inline constexpr std::uint32_t WSAEADDRNOTAVAIL = 10049;
+inline constexpr std::uint32_t WSAECONNRESET = 10054;
+inline constexpr std::uint32_t WSAEISCONN = 10056;
+inline constexpr std::uint32_t WSAENOTCONN = 10057;
+inline constexpr std::uint32_t WSAESHUTDOWN = 10058;
+inline constexpr std::uint32_t WSAETIMEDOUT = 10060;
+inline constexpr std::uint32_t WSAECONNREFUSED = 10061;
+
+inline constexpr std::uint64_t INVALID_SOCKET32 = 0xffffffffull;
+inline constexpr std::uint64_t SOCKET_ERROR32 = 0xffffffffull;  // (int)-1
+
 inline constexpr std::uint64_t INVALID_HANDLE_VALUE32 = 0xffffffffull;
 inline constexpr std::uint64_t kPseudoCurrentProcess = 0xffffffffull;
 inline constexpr std::uint64_t kPseudoCurrentThread = 0xfffffffeull;
@@ -89,5 +112,9 @@ void register_env_calls(core::TypeLibrary& lib, core::Registry& reg);
 /// paper groups keep their registry order; excluded from default campaigns
 /// by the group registry (core/groups.h) until its goldens are committed.
 void register_sync_calls(core::TypeLibrary& lib, core::Registry& reg);
+/// The fourteenth group (FuncGroup::kSockets), Winsock flavor: socket
+/// operations on the simulated loopback stack (sim/net) with the WSA error
+/// model.  Pools are shared with the POSIX flavor (core/socket_types.h).
+void register_socket_calls(core::TypeLibrary& lib, core::Registry& reg);
 
 }  // namespace ballista::win32

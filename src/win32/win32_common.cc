@@ -67,6 +67,7 @@ void register_win32(core::TypeLibrary& lib, core::Registry& reg) {
   // keep their registry order (and Registry::find keeps resolving bare
   // names to the paper MuTs; use "sync:Name" for the sync twins).
   register_sync_calls(lib, reg);
+  register_socket_calls(lib, reg);
 }
 
 }  // namespace ballista::win32

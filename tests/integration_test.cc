@@ -64,10 +64,12 @@ TEST(WorldCatalog, CallCountsMatchThePaper) {
   // 91 POSIX system calls + the shared C library on Linux.
   EXPECT_EQ(paper_count(OsVariant::kLinux, ApiKind::kPosixSys), 91u);
   EXPECT_EQ(paper_count(OsVariant::kLinux, ApiKind::kCLib), 94u);
-  // Full registry = paper groups + the sync growth group (19 MuTs, all on
-  // NT4; the per-variant subsets are pinned in sync_group_test.cc).
+  // Full registry = paper groups + the growth groups: sync (19 MuTs, all on
+  // NT4) and sockets (16 Winsock + 12 BSD; per-variant subsets are pinned in
+  // sync_group_test.cc / socket_group_test.cc).
   EXPECT_EQ(reg.count_group(core::FuncGroup::kWin32Sync), 19u);
-  EXPECT_EQ(reg.count(OsVariant::kWinNT4, ApiKind::kWin32Sys), 162u);
+  EXPECT_EQ(reg.count_group(core::FuncGroup::kSockets), 28u);
+  EXPECT_EQ(reg.count(OsVariant::kWinNT4, ApiKind::kWin32Sys), 162u + 16u);
 }
 
 TEST(WorldCatalog, TwentySixUnicodeTwins) {
@@ -104,13 +106,14 @@ TEST(WorldCatalog, IoPrimitivesMatchSection33Lists) {
 
 TEST(WorldCatalog, EveryMutIsWellFormed) {
   const auto& reg = shared_world().registry;
-  // Names are unique per group: growth groups may re-register an API name
-  // from a paper group (sync's CreateEvent vs process primitives'), which
-  // `repro --mut group:Name` disambiguates.  Within a group they must be
-  // unique or Registry::find(name, group) would be ambiguous.
-  std::set<std::pair<core::FuncGroup, std::string>> names;
+  // Names are unique per (group, api): growth groups may re-register an API
+  // name from a paper group (sync's CreateEvent vs process primitives'),
+  // which `repro --mut group:Name` disambiguates, and the sockets group
+  // registers a Winsock and a BSD MuT under the same name (socket, bind...),
+  // disambiguated by the target variant (Registry::find's variant overload).
+  std::set<std::tuple<core::FuncGroup, core::ApiKind, std::string>> names;
   for (const auto& m : reg.muts()) {
-    EXPECT_TRUE(names.insert({m.group, m.name}).second)
+    EXPECT_TRUE(names.insert({m.group, m.api, m.name}).second)
         << "duplicate MuT " << m.name;
     EXPECT_NE(m.variant_mask, 0) << m.name;
     EXPECT_TRUE(static_cast<bool>(m.impl)) << m.name;

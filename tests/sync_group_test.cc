@@ -61,7 +61,8 @@ TEST(SyncGroup, TableDerivationsAndTokenParsing) {
   // The default-campaign mask is exactly the paper's twelve groups.
   EXPECT_EQ(core::kDefaultCampaignGroupMask & kSyncBit, 0u);
   EXPECT_EQ(core::kEveryGroupMask,
-            core::kDefaultCampaignGroupMask | kSyncBit);
+            core::kDefaultCampaignGroupMask | kSyncBit |
+                core::group_bit(FuncGroup::kSockets));
 
   std::string err;
   EXPECT_EQ(core::parse_group_list("sync", &err), kSyncBit);

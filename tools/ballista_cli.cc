@@ -245,6 +245,21 @@ int cmd_list_groups(const harness::World& world, const Args& a) {
               << "\n";
     std::cout << "      pools: " << d.pools << "\n";
     std::cout << "      dispatch: " << d.dispatch << "\n";
+    // Per-variant MuT counts: where the group's surface shrinks (Win95's
+    // missing calls, the CE subset, win32-vs-posix flavors) shows up here.
+    std::cout << "      muts:";
+    static const char* kOsTokens[] = {"win95",   "win98", "win98se", "nt4",
+                                      "win2000", "wince", "linux"};
+    for (sim::OsVariant v : sim::kAllVariants) {
+      std::size_t n = 0;
+      for (const auto& m : world.registry.muts())
+        if (m.group == d.id && m.supported_on(v)) ++n;
+      std::cout << " " << kOsTokens[static_cast<unsigned>(v)] << "=" << n;
+    }
+    std::cout << "\n";
+    std::cout << "      crash-campaign: "
+              << (d.crash_default ? "default member" : "opt-in via --groups")
+              << "\n";
   }
   std::cout << std::right << "-- " << core::kGroupCount << " groups";
   if (a.os) std::cout << " (MuT counts for " << sim::variant_name(*a.os) << ")";
@@ -400,7 +415,7 @@ int cmd_run(const harness::World& world, const Args& a) {
     return 2;
   }
   const GroupsArg groups = parse_groups(a);
-  if (!groups.ok) return 2;
+  if (!groups.ok) return usage();
   if (a.crash_points) return cmd_run_crash(world, a, groups);
   std::vector<core::CampaignResult> results;
   for (sim::OsVariant v : os_list(a)) {
@@ -613,7 +628,10 @@ int cmd_stats(const harness::World& world, const Args& a) {
 int cmd_repro(const harness::World& world, const Args& a) {
   if (!a.os || a.mut.empty()) return usage();
   // "group:Name" disambiguates API names that exist in more than one group
-  // (sync re-registers e.g. CreateEvent; bare names resolve to the paper MuT).
+  // (sync re-registers e.g. CreateEvent; bare names resolve to the paper
+  // MuT).  Lookups resolve through --os: the sockets group registers a
+  // Winsock and a BSD MuT under the same bare name (socket, bind, ...), told
+  // apart only by which variants support them.
   const core::MuT* mut = nullptr;
   if (const auto colon = a.mut.find(':'); colon != std::string::npos) {
     const core::GroupDescriptor* d =
@@ -623,9 +641,12 @@ int cmd_repro(const harness::World& world, const Args& a) {
                 << core::group_token_list() << ")\n";
       return 1;
     }
-    mut = world.registry.find(a.mut.substr(colon + 1), d->id);
+    mut = world.registry.find(a.mut.substr(colon + 1), d->id, *a.os);
+    if (mut == nullptr)  // fall back for the not-on-this-OS diagnostic below
+      mut = world.registry.find(a.mut.substr(colon + 1), d->id);
   } else {
-    mut = world.registry.find(a.mut);
+    mut = world.registry.find(a.mut, std::nullopt, *a.os);
+    if (mut == nullptr) mut = world.registry.find(a.mut);
   }
   if (mut == nullptr) {
     std::cerr << "no such MuT: " << a.mut << "\n";
