@@ -1,9 +1,9 @@
 # Validates the BENCH_*.json contract (invoked by the bench_json_contract
-# ctest entry).  Runs bench_net in WORK_DIR so at least one report exists,
+# ctest entry).  Runs bench_net and bench_rpc in WORK_DIR so reports exist,
 # then requires every BENCH_*.json found there to be parseable JSON carrying
 # a string "bench" key — the shape the plotting/tooling side consumes.
 if(NOT DEFINED BENCH_NET OR NOT DEFINED WORK_DIR)
-  message(FATAL_ERROR "usage: cmake -DBENCH_NET=<bin> -DWORK_DIR=<dir> -P check_bench_json.cmake")
+  message(FATAL_ERROR "usage: cmake -DBENCH_NET=<bin> -DBENCH_RPC=<bin> -DWORK_DIR=<dir> -P check_bench_json.cmake")
 endif()
 
 execute_process(COMMAND ${BENCH_NET}
@@ -12,6 +12,16 @@ execute_process(COMMAND ${BENCH_NET}
                 OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench_net exited with ${rc}")
+endif()
+
+if(DEFINED BENCH_RPC)
+  execute_process(COMMAND ${BENCH_RPC}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_rpc exited with ${rc}")
+  endif()
 endif()
 
 file(GLOB reports "${WORK_DIR}/BENCH_*.json")

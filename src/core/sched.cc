@@ -131,9 +131,13 @@ MachinePool::MachinePool(sim::OsVariant variant, unsigned workers)
     : variant_(variant), machines_(std::max(workers, 1u)) {}
 
 sim::Machine& MachinePool::checkout(unsigned worker) {
+  return checkout(worker, variant_);
+}
+
+sim::Machine& MachinePool::checkout(unsigned worker, sim::OsVariant variant) {
   auto& slot = machines_.at(worker);
-  if (!slot)
-    slot = std::make_unique<sim::Machine>(variant_);
+  if (!slot || slot->variant() != variant)
+    slot = std::make_unique<sim::Machine>(variant);
   else
     slot->restore(sim::RestoreLevel::kFullReset);
   return *slot;

@@ -60,6 +60,11 @@ class MachinePool {
   /// The worker's machine, reset via sim::Machine::reset().
   sim::Machine& checkout(unsigned worker);
 
+  /// Same, but for an explicit OS variant: the campaign service multiplexes
+  /// sessions on different variants over one pool, so a slot whose machine
+  /// last ran another personality is rebuilt instead of restored.
+  sim::Machine& checkout(unsigned worker, sim::OsVariant variant);
+
   unsigned size() const noexcept {
     return static_cast<unsigned>(machines_.size());
   }

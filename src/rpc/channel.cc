@@ -1,25 +1,34 @@
 #include "rpc/channel.h"
 
+#include <algorithm>
+
 namespace ballista::rpc {
 
-Channel::Channel() {
-  auto to_a = std::make_shared<std::deque<Frame>>();
-  auto to_b = std::make_shared<std::deque<Frame>>();
+Channel::Channel(std::size_t capacity) {
+  auto to_a = std::make_shared<Endpoint::Inbox>();
+  auto to_b = std::make_shared<Endpoint::Inbox>();
+  to_a->cap = std::max<std::size_t>(capacity, 1);
+  to_b->cap = to_a->cap;
   a_.inbox_ = to_a;
   a_.peer_inbox_ = to_b;
   b_.inbox_ = to_b;
   b_.peer_inbox_ = to_a;
 }
 
-void Endpoint::send(Frame frame) {
-  peer_inbox_->push_back(std::move(frame));
+bool Endpoint::send(Frame frame) {
+  if (peer_inbox_->q.size() >= peer_inbox_->cap) {
+    ++refused_;
+    return false;
+  }
+  peer_inbox_->q.push_back(std::move(frame));
   ++sent_;
+  return true;
 }
 
 std::optional<Frame> Endpoint::try_recv() {
-  if (inbox_->empty()) return std::nullopt;
-  Frame f = std::move(inbox_->front());
-  inbox_->pop_front();
+  if (inbox_->q.empty()) return std::nullopt;
+  Frame f = std::move(inbox_->q.front());
+  inbox_->q.pop_front();
   return f;
 }
 

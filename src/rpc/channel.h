@@ -1,6 +1,12 @@
 // Deterministic in-memory duplex message channel standing in for the
 // harness's ONC RPC link.  Two endpoints, each with its own inbound frame
 // queue; single-threaded poll-style delivery keeps campaigns reproducible.
+//
+// Inbound queues are bounded: a send into a full peer queue is refused
+// (returns false) instead of buffered without limit, so a chatty peer can
+// never OOM the harness.  The policy is deterministic — no drops, no
+// reordering; the sender simply retries after the receiver drains — which is
+// exactly the backpressure signal the campaign server's outcome streams use.
 #pragma once
 
 #include <cstdint>
@@ -13,26 +19,42 @@ namespace ballista::rpc {
 
 using Frame = std::vector<std::uint8_t>;
 
+/// Default inbound-queue bound.  Deep enough that request/reply protocols
+/// never notice it; small enough that a runaway sender is caught in tests.
+inline constexpr std::size_t kDefaultChannelCapacity = 1024;
+
 class Channel;
 
 class Endpoint {
  public:
-  void send(Frame frame);
+  /// Delivers `frame` to the peer's inbound queue.  Returns false — and
+  /// delivers nothing — when that queue is at capacity; the caller keeps the
+  /// frame and retries after the peer drains.
+  bool send(Frame frame);
   std::optional<Frame> try_recv();
-  bool has_pending() const noexcept { return !inbox_->empty(); }
+  bool has_pending() const noexcept { return !inbox_->q.empty(); }
+  std::size_t pending() const noexcept { return inbox_->q.size(); }
+  std::size_t capacity() const noexcept { return inbox_->cap; }
   std::size_t frames_sent() const noexcept { return sent_; }
+  /// Sends refused by a full peer queue (each one a caller-visible retry).
+  std::size_t refused() const noexcept { return refused_; }
 
  private:
   friend class Channel;
-  std::shared_ptr<std::deque<Frame>> inbox_;
-  std::shared_ptr<std::deque<Frame>> peer_inbox_;
+  struct Inbox {
+    std::deque<Frame> q;
+    std::size_t cap = kDefaultChannelCapacity;
+  };
+  std::shared_ptr<Inbox> inbox_;
+  std::shared_ptr<Inbox> peer_inbox_;
   std::size_t sent_ = 0;
+  std::size_t refused_ = 0;
 };
 
 /// Owns the two queues; hand `a()` to one side and `b()` to the other.
 class Channel {
  public:
-  Channel();
+  explicit Channel(std::size_t capacity = kDefaultChannelCapacity);
   Endpoint& a() noexcept { return a_; }
   Endpoint& b() noexcept { return b_; }
 

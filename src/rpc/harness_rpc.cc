@@ -58,77 +58,73 @@ bool TestClient::poll() {
   if (!frame) return true;
   const auto msg = decode(*frame);
   if (!msg) return true;  // malformed frames are dropped
-  if (msg->type == MessageType::kShutdown) return false;
+  if (std::get_if<Shutdown>(&*msg) != nullptr) return false;
 
-  if (msg->type == MessageType::kShardRequest) {
-    const ShardRequest& req = msg->shard_request;
-    Message reply;
-    reply.type = MessageType::kShardResult;
-    reply.shard_result.mut_name = req.mut_name;
-    reply.shard_result.first = req.first;
+  if (const auto* req = std::get_if<ShardRequest>(&*msg)) {
+    ShardResult reply;
+    reply.mut_name = req->mut_name;
+    reply.first = req->first;
 
-    const core::MuT* mut = registry_.find(req.mut_name);
+    const core::MuT* mut = registry_.find(req->mut_name);
     if (mut == nullptr) {
-      reply.shard_result.detail = "unknown MuT";
-      endpoint_.send(encode(reply));
+      reply.detail = "unknown MuT";
+      endpoint_.send(encode(Message{std::move(reply)}));
       return true;
     }
     core::TupleGenerator gen(*mut, cap_, seed_);
     core::Executor executor(*machine_);
-    for (std::uint64_t k = 0; k < req.count; ++k) {
-      const auto tuple = gen.tuple(req.first + k);
+    for (std::uint64_t k = 0; k < req->count; ++k) {
+      const auto tuple = gen.tuple(req->first + k);
       const core::CaseResult r = executor.run_case(
-          *mut, tuple, static_cast<std::int64_t>(req.first + k));
-      reply.shard_result.codes.push_back(core::case_code(r));
-      reply.shard_result.counters += r.events;
+          *mut, tuple, static_cast<std::int64_t>(req->first + k));
+      reply.codes.push_back(core::case_code(r));
+      reply.counters += r.events;
       if (machine_->crashed()) {
         // The crash report travels in-band: the truncated code vector ends
         // at the Catastrophic case, so the server needs no separate notice.
-        reply.shard_result.crashed = true;
-        reply.shard_result.detail = r.detail;
+        reply.crashed = true;
+        reply.detail = r.detail;
         machine_->restore(sim::RestoreLevel::kReboot);
         ++reboots_;
         break;
       }
     }
-    endpoint_.send(encode(reply));
+    endpoint_.send(encode(Message{std::move(reply)}));
     return true;
   }
 
-  if (msg->type != MessageType::kTestRequest) return true;
+  const auto* request = std::get_if<TestRequest>(&*msg);
+  if (request == nullptr) return true;
 
-  const core::MuT* mut = registry_.find(msg->request.mut_name);
-  Message reply;
-  reply.type = MessageType::kTestResult;
-  reply.result.mut_name = msg->request.mut_name;
-  reply.result.case_index = msg->request.case_index;
+  const core::MuT* mut = registry_.find(request->mut_name);
+  TestResult reply;
+  reply.mut_name = request->mut_name;
+  reply.case_index = request->case_index;
   if (mut == nullptr) {
-    reply.result.code = core::CaseCode::kHindering;
-    reply.result.detail = "unknown MuT";
-    endpoint_.send(encode(reply));
+    reply.code = core::CaseCode::kHindering;
+    reply.detail = "unknown MuT";
+    endpoint_.send(encode(Message{std::move(reply)}));
     return true;
   }
 
   core::TupleGenerator gen(*mut, cap_, seed_);
-  const auto tuple = gen.tuple(msg->request.case_index);
+  const auto tuple = gen.tuple(request->case_index);
   core::Executor executor(*machine_);
   const core::CaseResult r = executor.run_case(
-      *mut, tuple, static_cast<std::int64_t>(msg->request.case_index));
-  core::CaseResult normalized = r;
-  reply.result.code = core::case_code(normalized);
-  reply.result.detail = r.detail;
-  endpoint_.send(encode(reply));
+      *mut, tuple, static_cast<std::int64_t>(request->case_index));
+  reply.code = core::case_code(r);
+  reply.detail = r.detail;
+  endpoint_.send(encode(Message{std::move(reply)}));
 
   if (machine_->crashed()) {
     machine_->restore(sim::RestoreLevel::kReboot);
     ++reboots_;
-    Message notice;
-    notice.type = MessageType::kRebootNotice;
-    notice.result.mut_name = msg->request.mut_name;
-    notice.result.case_index = msg->request.case_index;
-    notice.result.code = core::CaseCode::kCatastrophic;
-    notice.result.detail = "machine rebooted";
-    endpoint_.send(encode(notice));
+    RebootNotice notice;
+    notice.report.mut_name = request->mut_name;
+    notice.report.case_index = request->case_index;
+    notice.report.code = core::CaseCode::kCatastrophic;
+    notice.report.detail = "machine rebooted";
+    endpoint_.send(encode(Message{std::move(notice)}));
   }
   return true;
 }
@@ -151,7 +147,7 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
     for (int spin = 0; spin < 1000; ++spin) {
       if (const auto frame = endpoint_.try_recv()) {
         const auto msg = decode(*frame);
-        if (msg && msg->type == want) return msg;
+        if (msg && message_type(*msg) == want) return msg;
         continue;  // skip interleaved notices
       }
       pump();
@@ -161,13 +157,10 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
 
   auto run_case = [&](const core::MuT& mut, std::uint64_t index)
       -> std::optional<TestResult> {
-    Message req;
-    req.type = MessageType::kTestRequest;
-    req.request = {mut.name, index};
-    endpoint_.send(encode(req));
+    endpoint_.send(encode(Message{TestRequest{mut.name, index}}));
     const auto reply = await(MessageType::kTestResult);
     if (!reply) return std::nullopt;
-    return reply->result;
+    return std::get<TestResult>(*reply);
   };
 
   for (const core::MuT* mut : registry_.for_variant(variant)) {
@@ -185,13 +178,10 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
          first += shard_cases_) {
       const std::uint64_t count =
           std::min<std::uint64_t>(shard_cases_, gen.count() - first);
-      Message req;
-      req.type = MessageType::kShardRequest;
-      req.shard_request = {mut->name, first, count};
-      endpoint_.send(encode(req));
+      endpoint_.send(encode(Message{ShardRequest{mut->name, first, count}}));
       const auto reply = await(MessageType::kShardResult);
       if (!reply) throw std::runtime_error("client stopped responding");
-      const ShardResult& sr = reply->shard_result;
+      const ShardResult& sr = std::get<ShardResult>(*reply);
       for (std::size_t k = 0; k < sr.codes.size(); ++k) {
         ++result.total_cases;
         apply_code(stats, sr.codes[k], tuple_has_exceptional(gen, first + k));
@@ -218,9 +208,7 @@ core::CampaignResult TestServer::run(sim::OsVariant variant,
   for (const core::MutStats& s : result.stats)
     result.event_counters += s.event_counts;
 
-  Message bye;
-  bye.type = MessageType::kShutdown;
-  endpoint_.send(encode(bye));
+  endpoint_.send(encode(Message{Shutdown{}}));
   pump();
   return result;
 }

@@ -538,6 +538,14 @@ bool decode_complete(const std::uint8_t* payload, std::size_t size,
 
 }  // namespace
 
+std::uint64_t run_fingerprint(const RunHeader& h) {
+  const std::vector<std::uint8_t> bytes = encode_run_header(h);
+  Fnv f;
+  f.u64(bytes.size());
+  for (std::uint8_t b : bytes) f.byte(b);
+  return f.h;
+}
+
 std::vector<std::uint8_t> encode_shard_outcome(const core::ShardOutcome& o) {
   std::vector<std::uint8_t> out;
   wire::put_u64(out, o.shard_index);
@@ -962,6 +970,80 @@ bool summary_matches(const StoreContents& contents,
 
 }  // namespace
 
+// --- ResumableLog ------------------------------------------------------------
+
+ResumableLog::Opened ResumableLog::open(const std::string& path,
+                                        const core::Plan& plan,
+                                        const RunHeader& header, Mode mode) {
+  Opened out;
+  auto log = std::unique_ptr<ResumableLog>(new ResumableLog());
+  log->path_ = path;
+
+  bool create = mode == Mode::kCreate;
+  if (mode == Mode::kCreateOrResume) {
+    // Only a genuinely absent file falls back to create: an existing but
+    // unreadable/foreign log is an error, never silently truncated.
+    std::error_code ec;
+    create = !std::filesystem::exists(path, ec) && !ec;
+  }
+
+  std::string err;
+  if (create) {
+    log->store_ = CampaignStore::create(path, header, &err);
+    if (log->store_ == nullptr) {
+      out.error = err;
+      return out;
+    }
+    out.log = std::move(log);
+    return out;
+  }
+
+  StoreContents contents = read_store_file(path);
+  out.status = contents.status;
+  if (contents.status == ReadStatus::kBadHeader) {
+    out.error = path + ": " + contents.error;
+    return out;
+  }
+  if (contents.header != header) {
+    out.error = path + ": log fingerprint does not match this campaign:\n" +
+                describe_header_mismatch(header, contents.header);
+    return out;
+  }
+  log->cache_ = build_cache(plan, contents);
+  log->complete_ = contents.complete;
+  log->complete_total_cases_ = contents.complete_total_cases;
+  log->complete_reboots_ = contents.complete_reboots;
+  log->complete_counters_ = contents.complete_counters;
+  if (contents.complete && log->cache_.size() == plan.shards.size()) {
+    // Sealed and fully covered: nothing will ever be appended, so no write
+    // handle is taken (fail() stays true if someone tries anyway).
+    out.log = std::move(log);
+    return out;
+  }
+  log->store_ = CampaignStore::open_append(path, contents.valid_bytes, &err);
+  if (log->store_ == nullptr) {
+    out.error = err;
+    return out;
+  }
+  out.log = std::move(log);
+  return out;
+}
+
+bool ResumableLog::summary_matches(
+    const core::CampaignResult& merged) const noexcept {
+  return complete_total_cases_ == merged.total_cases &&
+         complete_reboots_ == merged.reboots &&
+         complete_counters_ == merged.event_counters;
+}
+
+bool ResumableLog::append_shard(const core::ShardOutcome& outcome) {
+  return store_ != nullptr && store_->append_shard(outcome);
+}
+
+bool ResumableLog::seal(const core::CampaignResult& result) {
+  return store_ != nullptr && store_->append_complete(result);
+}
+
 StoreRun run_with_store(sim::OsVariant variant, const core::Registry& registry,
                         const core::CampaignOptions& opt,
                         const std::string& path, bool resume) {
@@ -979,52 +1061,38 @@ StoreRun run_with_store(sim::OsVariant variant, const core::Registry& registry,
   const core::Plan plan = core::plan_for(variant, registry, opt);
   const RunHeader header = make_run_header(plan, opt);
 
-  std::unique_ptr<CampaignStore> log;
-  OutcomeCache cache;
-  std::string err;
-  if (resume) {
-    StoreContents contents = read_store_file(path);
-    out.log_status = contents.status;
-    if (contents.status == ReadStatus::kBadHeader) {
-      out.error = path + ": " + contents.error;
-      return out;
-    }
-    if (contents.header != header) {
-      out.error = path + ": log fingerprint does not match this campaign:\n" +
-                  describe_header_mismatch(header, contents.header);
-      return out;
-    }
-    cache = build_cache(plan, contents);
-    if (contents.complete && cache.size() == plan.shards.size()) {
-      // Nothing to do: the log already holds the whole campaign.
-      out.result = merge_cache(plan, std::move(cache));
-      if (!summary_matches(contents, out.result)) {
-        out.error = path + ": merged result does not match the log's "
-                           "completion marker (refusing to trust it)";
-        return out;
-      }
-      out.shards_reused = plan.shards.size();
-      out.ok = true;
-      return out;
-    }
-    log = CampaignStore::open_append(path, contents.valid_bytes, &err);
-  } else {
-    log = CampaignStore::create(path, header, &err);
+  ResumableLog::Opened opened = ResumableLog::open(
+      path, plan, header,
+      resume ? ResumableLog::Mode::kResume : ResumableLog::Mode::kCreate);
+  out.log_status = opened.status;
+  if (opened.log == nullptr) {
+    out.error = opened.error;
+    return out;
   }
-  if (log == nullptr) {
-    out.error = err;
+  ResumableLog& log = *opened.log;
+
+  if (log.recovered_complete() && log.cached().size() == plan.shards.size()) {
+    // Nothing to do: the log already holds the whole campaign.
+    out.result = merge_cache(plan, log.cached());
+    if (!log.summary_matches(out.result)) {
+      out.error = path + ": merged result does not match the log's "
+                         "completion marker (refusing to trust it)";
+      return out;
+    }
+    out.shards_reused = plan.shards.size();
+    out.ok = true;
     return out;
   }
 
   core::CampaignOptions run_opt = opt;
   run_opt.shard_cache =
-      [&cache](const core::Shard& s) -> const core::ShardOutcome* {
-    const auto it = cache.find(s.index);
-    return it == cache.end() ? nullptr : &it->second;
+      [&log](const core::Shard& s) -> const core::ShardOutcome* {
+    const auto it = log.cached().find(s.index);
+    return it == log.cached().end() ? nullptr : &it->second;
   };
   std::size_t executed = 0;
   run_opt.on_shard_complete = [&](const core::ShardOutcome& o) {
-    if (!log->append_shard(o))
+    if (!log.append_shard(o))
       throw std::runtime_error("campaign store: append failed on " + path);
     ++executed;
   };
@@ -1035,11 +1103,11 @@ StoreRun run_with_store(sim::OsVariant variant, const core::Registry& registry,
     out.error = e.what();
     return out;
   }
-  if (!log->append_complete(out.result)) {
+  if (!log.seal(out.result)) {
     out.error = "campaign store: could not seal " + path;
     return out;
   }
-  out.shards_reused = cache.size();
+  out.shards_reused = log.cached().size();
   out.shards_executed = executed;
   out.ok = true;
   return out;

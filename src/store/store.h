@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -120,6 +121,65 @@ class CampaignStore {
 
   std::FILE* f_ = nullptr;
   bool failed_ = false;
+};
+
+/// FNV-1a over the header's canonical encoding: one u64 naming a campaign's
+/// identity (catalog hashes + plan parameters).  The campaign service keys
+/// its session table and per-session log files on this.
+std::uint64_t run_fingerprint(const RunHeader& h);
+
+/// Incremental create-or-resume access to one campaign's log: the recovery,
+/// fingerprint-check, cache-building and append machinery of run_with_store
+/// factored out so long-lived callers (the campaign server streams shards
+/// into many of these at once) can drive the engine hooks themselves.
+class ResumableLog {
+ public:
+  enum class Mode : std::uint8_t {
+    kCreate,          // fresh log; truncates whatever was at `path`
+    kResume,          // existing log required; recover its valid prefix
+    kCreateOrResume,  // resume if `path` exists, else create
+  };
+  struct Opened {
+    std::unique_ptr<ResumableLog> log;  // null on failure
+    std::string error;                  // set when !log
+    /// What the reader said about an existing log (kOk for fresh creates).
+    ReadStatus status = ReadStatus::kOk;
+  };
+  /// Opens `path` for (variant, plan, header).  Resuming fails cleanly on a
+  /// damaged header or a fingerprint mismatch — an existing foreign log is
+  /// never truncated, even under kCreateOrResume.
+  static Opened open(const std::string& path, const core::Plan& plan,
+                     const RunHeader& header, Mode mode);
+
+  const std::string& path() const noexcept { return path_; }
+  /// Plan-consistent shard outcomes recovered from the log, keyed by shard
+  /// index, MutStats rebound to the plan's MuTs.  Feed to
+  /// CampaignOptions::shard_cache; cached shards must not be re-appended.
+  const std::map<std::size_t, core::ShardOutcome>& cached() const noexcept {
+    return cache_;
+  }
+  /// The recovered log already carried a completion marker.
+  bool recovered_complete() const noexcept { return complete_; }
+  /// Cross-checks a merged result against the recovered completion marker
+  /// (only meaningful when recovered_complete()).
+  bool summary_matches(const core::CampaignResult& merged) const noexcept;
+
+  /// Frames, appends and flushes one completed shard.
+  bool append_shard(const core::ShardOutcome& outcome);
+  /// Appends the completion marker with the merged totals.
+  bool seal(const core::CampaignResult& result);
+  bool fail() const noexcept { return !store_ || store_->fail(); }
+
+ private:
+  ResumableLog() = default;
+
+  std::string path_;
+  std::unique_ptr<CampaignStore> store_;  // null once sealed-and-covered
+  std::map<std::size_t, core::ShardOutcome> cache_;
+  bool complete_ = false;
+  std::uint64_t complete_total_cases_ = 0;
+  std::int64_t complete_reboots_ = 0;
+  trace::Counters complete_counters_;
 };
 
 // --- drivers -----------------------------------------------------------------

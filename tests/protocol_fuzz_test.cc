@@ -20,9 +20,9 @@ TEST_P(ProtocolFuzz, DecodeNeverCrashesAndRoundTripsWhenItAccepts) {
     Frame frame(len);
     for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next());
     // Bias some frames toward valid-looking types so the accept path is
-    // exercised too.
+    // exercised too (all twelve v1+v2 tags).
     if (!frame.empty() && iter % 3 == 0)
-      frame[0] = static_cast<std::uint8_t>(1 + rng.next_below(6));
+      frame[0] = static_cast<std::uint8_t>(1 + rng.next_below(12));
     const auto msg = decode(frame);
     if (msg.has_value()) {
       EXPECT_EQ(encode(*msg), frame)
@@ -33,10 +33,8 @@ TEST_P(ProtocolFuzz, DecodeNeverCrashesAndRoundTripsWhenItAccepts) {
 
 TEST_P(ProtocolFuzz, TruncationsOfValidFramesAreRejectedOrConsistent) {
   SplitMix64 rng(GetParam() ^ 0xabcdef);
-  Message m;
-  m.type = MessageType::kTestResult;
-  m.result = {"GetThreadContext", rng.next_below(10000),
-              core::CaseCode::kAbort, "detail text"};
+  const Message m{TestResult{"GetThreadContext", rng.next_below(10000),
+                             core::CaseCode::kAbort, "detail text"}};
   const Frame full = encode(m);
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
     const Frame truncated(full.begin(),
@@ -50,16 +48,14 @@ TEST_P(ProtocolFuzz, TruncationsOfValidFramesAreRejectedOrConsistent) {
 
 TEST_P(ProtocolFuzz, TruncationsOfShardResultFramesAreRejectedOrConsistent) {
   SplitMix64 rng(GetParam() ^ 0x5a5a5a);
-  Message m;
-  m.type = MessageType::kShardResult;
-  m.shard_result.mut_name = "strncpy";
-  m.shard_result.first = rng.next_below(10000);
+  ShardResult sr;
+  sr.mut_name = "strncpy";
+  sr.first = rng.next_below(10000);
   for (int i = 0; i < 9; ++i)
-    m.shard_result.codes.push_back(
-        static_cast<core::CaseCode>(rng.next_below(6)));
-  m.shard_result.crashed = true;
-  m.shard_result.detail = "delayed failure from corrupted shared arena";
-  const Frame full = encode(m);
+    sr.codes.push_back(static_cast<core::CaseCode>(rng.next_below(6)));
+  sr.crashed = true;
+  sr.detail = "delayed failure from corrupted shared arena";
+  const Frame full = encode(Message{std::move(sr)});
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
     const Frame truncated(full.begin(),
                           full.begin() + static_cast<std::ptrdiff_t>(cut));

@@ -21,12 +21,16 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "core/ballista.h"
 #include "core/diff.h"
 #include "harness/world.h"
+#include "rpc/server.h"
+#include "store/format.h"
 #include "store/store.h"
 
 namespace {
@@ -73,6 +77,20 @@ struct Args {
   /// --resume recovers one and re-runs only missing shards, --baseline gates
   /// the run against an earlier log and fails on drift.
   std::string store, resume, baseline;
+  /// Campaign service (serve/attach).  --sessions LIST opens one session per
+  /// comma-separated OS token; --log-dir houses the per-session .blog files;
+  /// --quota bounds shards per session per scheduling round; --detach-at /
+  /// --halt-at park the first session after K streamed shards (detach-at
+  /// reattaches once the others finish, halt-at leaves the partial log for a
+  /// later `attach`); --wire-trace prints every decoded frame.
+  std::string sessions;
+  std::string log_dir;
+  std::uint64_t quota = 2;
+  std::optional<std::uint64_t> detach_at, halt_at;
+  bool wire_trace = false;
+  /// --shard-cases N (run/serve/attach): target cases per plan shard.  Part
+  /// of the campaign fingerprint — both ends of a resume must agree on it.
+  std::uint64_t shard_cases = 2048;
   /// Non-flag operands (only the diff command takes any).
   std::vector<std::string> positional;
   /// Every `--flag` token seen, in order — pure-operand commands (diff,
@@ -144,6 +162,26 @@ Args parse_args(int argc, char** argv) {
         a.api = core::ApiKind::kCLib;
       else
         a.ok = false;
+    } else if (flag == "--sessions") {
+      a.sessions = next();
+      if (a.sessions.empty()) a.ok = false;
+    } else if (flag == "--log-dir") {
+      a.log_dir = next();
+      if (a.log_dir.empty()) a.ok = false;
+    } else if (flag == "--quota") {
+      a.quota = std::strtoull(next(), nullptr, 10);
+      if (a.quota == 0) a.ok = false;
+    } else if (flag == "--detach-at") {
+      a.detach_at = std::strtoull(next(), nullptr, 10);
+      if (*a.detach_at == 0) a.ok = false;
+    } else if (flag == "--halt-at") {
+      a.halt_at = std::strtoull(next(), nullptr, 10);
+      if (*a.halt_at == 0) a.ok = false;
+    } else if (flag == "--wire-trace") {
+      a.wire_trace = true;
+    } else if (flag == "--shard-cases") {
+      a.shard_cases = std::strtoull(next(), nullptr, 10);
+      if (a.shard_cases == 0) a.ok = false;
     } else if (flag == "--store") {
       a.store = next();
     } else if (flag == "--resume") {
@@ -170,6 +208,12 @@ int usage() {
       "      [--groups LIST] [--mut-csv F] [--value-csv F] [--analyze]\n"
       "      [--trace[=N]] [--event-counters] [--crash-points[=N]]\n"
       "      [--store F.blog | --resume F.blog] [--baseline F.blog]\n"
+      "      [--shard-cases N]\n"
+      "  serve --sessions LIST [--cap N] [--seed S] [--jobs N] [--quota N]\n"
+      "      [--shard-cases N] [--log-dir D] [--detach-at K | --halt-at K]\n"
+      "      [--wire-trace]                       multi-session campaign server\n"
+      "  attach --os NAME --log-dir D [--cap N] [--seed S] [--jobs N]\n"
+      "      [--shard-cases N] [--wire-trace]     reattach a parked campaign\n"
       "  repro --os NAME --mut NAME --case I [--trace[=N]] [--cut K]\n"
       "                                           single-test reproduction\n"
       "                                           (--mut accepts group:Name)\n"
@@ -194,7 +238,13 @@ int usage() {
       "robustness campaign: each case's persistence points are counted, then\n"
       "up to N cuts per case are injected and post-reboot consistency is\n"
       "verified.  Store/resume/baseline/jobs compose; repro --cut K replays\n"
-      "one (MuT, case, k) cut standalone.\n";
+      "one (MuT, case, k) cut standalone.\n"
+      "`serve` multiplexes one campaign session per --sessions OS token over\n"
+      "a shared machine pool; with --log-dir each session streams into its\n"
+      "own .blog.  --detach-at K parks the first session after K streamed\n"
+      "shards and reattaches it once the others finish; --halt-at K parks it\n"
+      "and exits, leaving the partial log for a later `attach`.  Both ends of\n"
+      "a resume must agree on cap/seed/--shard-cases (the fingerprint).\n";
   return 2;
 }
 
@@ -423,6 +473,7 @@ int cmd_run(const harness::World& world, const Args& a) {
     opt.cap = a.cap;
     opt.seed = a.seed;
     opt.jobs = a.jobs;
+    opt.shard_cases = a.shard_cases;
     opt.group_mask = groups.mask;
     if (a.api)
       opt.only_api =
@@ -730,6 +781,211 @@ int cmd_tables(const harness::World& world, const Args& a) {
   return 0;
 }
 
+// --- campaign service (serve / attach) --------------------------------------
+
+const char* os_token(sim::OsVariant v) {
+  static const char* kTokens[] = {"win95",   "win98", "win98se", "nt4",
+                                  "win2000", "wince", "linux"};
+  return kTokens[static_cast<unsigned>(v)];
+}
+
+core::CampaignOptions service_options(const Args& a) {
+  core::CampaignOptions opt;
+  opt.cap = a.cap;
+  opt.seed = a.seed;
+  opt.shard_cases = a.shard_cases;
+  return opt;
+}
+
+void enable_wire_trace(rpc::CampaignServer& server) {
+  server.wire_trace = [](char dir, const rpc::Message& m) {
+    std::cout << (dir == '<' ? "<- " : "-> ") << rpc::describe(m) << "\n";
+  };
+}
+
+int report_client_error(sim::OsVariant v, const rpc::Error& e) {
+  std::cerr << os_token(v) << ": " << rpc::error_code_name(e.code) << ": "
+            << e.message << "\n";
+  return 1;
+}
+
+/// Steps the server and polls every client until each one is complete,
+/// errored, or detached.  Returns false only if the step budget runs out —
+/// a wedged service, which the session-layer tests promise cannot happen.
+bool pump_service(rpc::CampaignServer& server,
+                  const std::vector<rpc::CampaignClient*>& clients) {
+  for (int i = 0; i < (1 << 20); ++i) {
+    server.step();
+    bool pending = false;
+    for (rpc::CampaignClient* c : clients) {
+      c->poll();
+      if (c->attached() && !c->complete() && !c->error()) pending = true;
+    }
+    if (!pending && !server.step()) return true;
+  }
+  return false;
+}
+
+int cmd_serve(const harness::World& world, const Args& a) {
+  if (a.sessions.empty()) {
+    std::cerr << "serve needs --sessions LIST (comma-separated OS names)\n";
+    return usage();
+  }
+  std::vector<sim::OsVariant> variants;
+  for (std::size_t start = 0;;) {
+    const std::size_t comma = a.sessions.find(',', start);
+    const std::string tok = a.sessions.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    const auto v = parse_os(tok);
+    if (!v) {
+      std::cerr << "unknown OS '" << tok << "' in --sessions\n";
+      return usage();
+    }
+    variants.push_back(*v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (a.detach_at && a.halt_at) {
+    std::cerr << "--detach-at and --halt-at are mutually exclusive\n";
+    return 2;
+  }
+  if ((a.detach_at || a.halt_at) && a.log_dir.empty()) {
+    std::cerr << "--detach-at/--halt-at need --log-dir (the parked campaign "
+                 "must survive in its .blog)\n";
+    return 2;
+  }
+
+  rpc::ServerConfig cfg;
+  cfg.log_dir = a.log_dir;
+  cfg.jobs = a.jobs;
+  cfg.quota = a.quota;
+  if (variants.size() > cfg.max_sessions) cfg.max_sessions = variants.size();
+  rpc::CampaignServer server(world.registry, cfg);
+  if (a.wire_trace) enable_wire_trace(server);
+
+  const core::CampaignOptions opt = service_options(a);
+  std::vector<std::unique_ptr<rpc::Channel>> channels;
+  std::vector<std::unique_ptr<rpc::CampaignClient>> clients;
+  for (sim::OsVariant v : variants) {
+    channels.push_back(std::make_unique<rpc::Channel>());
+    server.bind(channels.back()->a());
+    clients.push_back(std::make_unique<rpc::CampaignClient>(
+        channels.back()->b(), world.registry, v, opt));
+    if (!clients.back()->hello()) {
+      std::cerr << "could not enqueue hello for " << os_token(v) << "\n";
+      return 1;
+    }
+  }
+
+  const std::uint64_t drop_at = a.detach_at.value_or(a.halt_at.value_or(0));
+  bool dropped = false;
+  for (int i = 0; i < (1 << 20); ++i) {
+    server.step();
+    bool pending = false;
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      rpc::CampaignClient& cl = *clients[c];
+      if (!cl.poll()) return report_client_error(variants[c], *cl.error());
+      if (c == 0 && drop_at != 0 && !dropped &&
+          cl.outcomes_received() >= drop_at) {
+        cl.detach();
+        dropped = true;
+        std::cout << os_token(variants[0]) << ": detached after "
+                  << cl.outcomes_received() << " of "
+                  << cl.plan().shards.size() << " shard(s)\n";
+      }
+      if (cl.attached() && !cl.complete()) pending = true;
+    }
+    if (!pending && !server.step()) break;
+  }
+
+  if (a.detach_at && dropped) {
+    // The parked session comes back after everyone else finished; the server
+    // replays what the log already holds and streams only the missing tail.
+    clients[0] = std::make_unique<rpc::CampaignClient>(
+        channels[0]->b(), world.registry, variants[0], opt);
+    if (!clients[0]->hello()) return 1;
+    if (!pump_service(server, {clients[0].get()})) {
+      std::cerr << "campaign service wedged during reattach\n";
+      return 1;
+    }
+    if (clients[0]->error())
+      return report_client_error(variants[0], *clients[0]->error());
+    std::cout << os_token(variants[0]) << ": reattached, "
+              << clients[0]->reused() << " shard(s) already in the log, "
+              << clients[0]->outcomes_received() << " streamed\n";
+  }
+
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const rpc::CampaignClient& cl = *clients[c];
+    if (a.halt_at && c == 0 && dropped) {
+      std::cout << os_token(variants[c])
+                << ": parked mid-campaign (resume with `ballista_cli attach "
+                   "--os "
+                << os_token(variants[c]) << " --log-dir " << a.log_dir
+                << "`)\n";
+      continue;
+    }
+    if (const auto result = cl.result()) {
+      std::cout << os_token(variants[c]) << ": complete, "
+                << result->total_cases << " case(s), " << result->reboots
+                << " reboot(s)\n";
+    } else if (cl.complete()) {
+      std::cout << os_token(variants[c]) << ": complete (merged totals in "
+                << a.log_dir << ")\n";
+    } else {
+      std::cerr << os_token(variants[c]) << ": campaign did not complete\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_attach(const harness::World& world, const Args& a) {
+  if (!a.os || a.log_dir.empty()) {
+    std::cerr << "attach needs --os NAME and --log-dir DIR\n";
+    return usage();
+  }
+  rpc::ServerConfig cfg;
+  cfg.log_dir = a.log_dir;
+  cfg.jobs = a.jobs;
+  cfg.quota = a.quota;
+  rpc::CampaignServer server(world.registry, cfg);
+  if (a.wire_trace) enable_wire_trace(server);
+
+  const core::CampaignOptions opt = service_options(a);
+  rpc::Channel ch;
+  server.bind(ch.a());
+  rpc::CampaignClient client(ch.b(), world.registry, *a.os, opt);
+  if (!client.hello()) return 1;
+  if (!pump_service(server, {&client})) {
+    std::cerr << "campaign service wedged\n";
+    return 1;
+  }
+
+  const core::Plan plan = core::plan_for(*a.os, world.registry, opt);
+  const std::string path = server.log_path(store::make_run_header(plan, opt));
+  if (client.error()) {
+    if (client.error()->code != rpc::ErrorCode::kSessionSealed)
+      return report_client_error(*a.os, *client.error());
+    std::cout << path << ": campaign already complete\n";
+  } else if (client.complete()) {
+    std::cout << path << ": " << client.reused()
+              << " shard(s) replayed from the log, "
+              << client.outcomes_received() << " streamed\n";
+  } else {
+    std::cerr << "campaign did not complete\n";
+    return 1;
+  }
+  const store::StoreRun run = store::load_result(world.registry, path);
+  if (!run.ok) {
+    std::cerr << run.error << "\n";
+    return 1;
+  }
+  std::cout << os_token(*a.os) << ": " << run.result.total_cases
+            << " case(s), " << run.result.reboots << " reboot(s)\n";
+  return 0;
+}
+
 }  // namespace
 
 /// Flags each subcommand accepts.  Anything else — a flag that belongs to a
@@ -744,7 +1000,14 @@ const std::set<std::string>* allowed_flags(const std::string& command) {
       {"run",
        {"--os", "--cap", "--seed", "--api", "--jobs", "--groups", "--mut-csv",
         "--value-csv", "--analyze", "--trace", "--event-counters",
-        "--crash-points", "--store", "--resume", "--baseline"}},
+        "--crash-points", "--store", "--resume", "--baseline",
+        "--shard-cases"}},
+      {"serve",
+       {"--sessions", "--cap", "--seed", "--jobs", "--quota", "--shard-cases",
+        "--log-dir", "--detach-at", "--halt-at", "--wire-trace"}},
+      {"attach",
+       {"--os", "--cap", "--seed", "--jobs", "--quota", "--shard-cases",
+        "--log-dir", "--wire-trace"}},
       {"repro",
        {"--os", "--mut", "--case", "--cap", "--seed", "--trace", "--cut",
         "--event-counters"}},
@@ -782,6 +1045,8 @@ int main(int argc, char** argv) {
   if (a.command == "list-types") return cmd_list_types(*world);
   if (a.command == "list-groups") return cmd_list_groups(*world, a);
   if (a.command == "run") return cmd_run(*world, a);
+  if (a.command == "serve") return cmd_serve(*world, a);
+  if (a.command == "attach") return cmd_attach(*world, a);
   if (a.command == "repro") return cmd_repro(*world, a);
   if (a.command == "crashes") return cmd_crashes(*world, a);
   if (a.command == "tables") return cmd_tables(*world, a);
