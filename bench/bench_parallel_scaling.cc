@@ -1,7 +1,10 @@
 // Parallel-engine scaling: runs the full all-variant campaign at 1/2/4/8
-// worker threads, reports cases/sec and speedup as JSON (stdout and
-// BENCH_parallel.json), and asserts that every worker count produced the
-// same merged CampaignResult — the engine's determinism contract.
+// worker threads, reports cases/sec, speedup and per-phase engine timings
+// (plan / execute / merge, plus a standalone tuple-generation sweep) as JSON
+// (stdout and BENCH_parallel.json), and asserts that every worker count
+// produced the same merged CampaignResult — the engine's determinism
+// contract.  Scheduler health counters (contended steals, machine rebuilds)
+// ride along so a scaling regression can be localized without a profiler.
 //
 // Speedup is bounded by the host's core count (recorded as
 // "hardware_concurrency"); on a single-core host all worker counts
@@ -12,6 +15,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "core/sched.h"
 
 namespace {
 
@@ -38,6 +42,12 @@ bool same_result(const core::CampaignResult& a, const core::CampaignResult& b) {
   return a.event_counters == b.event_counters;
 }
 
+double secs_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,6 +58,7 @@ int main(int argc, char** argv) {
     unsigned jobs;
     double seconds;
     std::uint64_t cases;
+    core::EngineMetrics metrics;  // summed over the 7 variants
   };
   std::vector<Run> runs;
   std::vector<std::vector<core::CampaignResult>> all_results;
@@ -57,15 +68,59 @@ int main(int argc, char** argv) {
     copt.cap = opt.cap;
     copt.seed = opt.seed;
     copt.jobs = jobs;
+    Run run{jobs, 0.0, 0, {}};
+    std::vector<core::CampaignResult> results;
+    results.reserve(sim::kAllVariants.size());
     const auto start = std::chrono::steady_clock::now();
-    auto results = harness::run_all_variants(*world, copt);
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-    std::uint64_t cases = 0;
-    for (const auto& r : results) cases += r.total_cases;
-    runs.push_back({jobs, secs, cases});
+    for (sim::OsVariant v : sim::kAllVariants) {
+      core::EngineMetrics m;
+      copt.metrics = &m;
+      results.push_back(core::Campaign::run(v, world->registry, copt));
+      run.metrics.plan_seconds += m.plan_seconds;
+      run.metrics.execute_seconds += m.execute_seconds;
+      run.metrics.merge_seconds += m.merge_seconds;
+      run.metrics.shards += m.shards;
+      run.metrics.contended_steals += m.contended_steals;
+      run.metrics.machine_rebuilds += m.machine_rebuilds;
+    }
+    run.seconds = secs_since(start);
+    for (const auto& r : results) run.cases += r.total_cases;
+    runs.push_back(run);
     all_results.push_back(std::move(results));
+  }
+
+  // Standalone tuple-generation sweep: walk every planned case of every
+  // variant's plan with the batched cursor, no execution.  Measures the
+  // generator's share of the pipeline in isolation.
+  std::uint64_t gen_cases = 0;
+  double gen_seconds = 0.0;
+  {
+    core::CampaignOptions copt;
+    copt.cap = opt.cap;
+    copt.seed = opt.seed;
+    std::uint64_t sink = 0;
+    const auto start = std::chrono::steady_clock::now();
+    core::TupleScratch scratch;
+    for (sim::OsVariant v : sim::kAllVariants) {
+      const core::Plan plan = core::plan_for(v, world->registry, copt);
+      for (const core::Shard& s : plan.shards) {
+        for (const core::ShardItem& item : s.items) {
+          if (item.range.count == 0) continue;
+          core::TupleGenerator gen(*item.mut, copt.cap, copt.seed);
+          auto cur = gen.begin(item.range.first, scratch);
+          const std::uint64_t end = item.range.first + item.range.count;
+          for (std::uint64_t i = item.range.first; i < end;) {
+            for (const core::TestValue* tv : cur.values())
+              sink ^= reinterpret_cast<std::uintptr_t>(tv);
+            ++gen_cases;
+            ++i;
+            if (i < end) cur.advance();
+          }
+        }
+      }
+    }
+    gen_seconds = secs_since(start);
+    if (sink == 0x5eed) gen_seconds += 0;  // keep the sweep observable
   }
 
   bool deterministic = true;
@@ -82,6 +137,10 @@ int main(int argc, char** argv) {
        << "  \"seed\": " << opt.seed << ",\n"
        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
        << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"generate_seconds\": " << gen_seconds
+       << ",\n  \"generate_cases\": " << gen_cases
+       << ",\n  \"generate_cases_per_sec\": "
+       << (gen_seconds > 0 ? gen_cases / gen_seconds : 0)
        << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];
@@ -90,7 +149,13 @@ int main(int argc, char** argv) {
         r.seconds > 0 ? runs[0].seconds / r.seconds : 0;
     json << "    {\"jobs\": " << r.jobs << ", \"seconds\": " << r.seconds
          << ", \"cases\": " << r.cases << ", \"cases_per_sec\": " << rate
-         << ", \"speedup\": " << speedup << "}"
+         << ", \"speedup\": " << speedup
+         << ",\n     \"plan_seconds\": " << r.metrics.plan_seconds
+         << ", \"execute_seconds\": " << r.metrics.execute_seconds
+         << ", \"merge_seconds\": " << r.metrics.merge_seconds
+         << ", \"shards\": " << r.metrics.shards
+         << ", \"contended_steals\": " << r.metrics.contended_steals
+         << ", \"machine_rebuilds\": " << r.metrics.machine_rebuilds << "}"
          << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

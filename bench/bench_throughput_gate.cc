@@ -1,0 +1,140 @@
+// Single-thread throughput regression gate.
+//
+// Runs the C-library campaign (the paper's most generation- and
+// memory-intensive group set) on one worker and compares cases/sec against
+// the committed floor in tests/golden/bench_baseline.json.  Exits 3 when the
+// measured rate drops more than 10% below the floor, so an accidental
+// per-case allocation or a de-batched hot loop fails CI instead of quietly
+// eating the engine's headroom.
+//
+// The committed floor is deliberately conservative (well under the rate a
+// development machine reaches) so the gate trips on real regressions, not on
+// CI machine variance.  Refresh it with:
+//
+//   bench_throughput_gate --write-baseline tests/golden/bench_baseline.json
+//
+// which records half of the just-measured rate.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace ballista;
+
+struct Measurement {
+  std::uint64_t cases = 0;
+  double seconds = 0.0;
+  double rate = 0.0;
+};
+
+Measurement measure(const harness::World& world, std::uint64_t cap,
+                    std::uint64_t seed) {
+  core::CampaignOptions opt;
+  opt.cap = cap;
+  opt.seed = seed;
+  opt.only_api = core::ApiKind::kCLib;
+  opt.jobs = 1;
+  Measurement best;
+  // Two passes, keep the faster: absorbs first-touch page faults and cold
+  // caches without averaging in a one-off scheduler hiccup.
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result =
+        core::Campaign::run(sim::OsVariant::kWinNT4, world.registry, opt);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    const double rate = secs > 0 ? result.total_cases / secs : 0;
+    if (rate > best.rate) {
+      best.cases = result.total_cases;
+      best.seconds = secs;
+      best.rate = rate;
+    }
+  }
+  return best;
+}
+
+/// Minimal extractor for the one number the gate needs; the baseline file is
+/// written by this binary, so the shape is under our control.
+bool read_baseline(const std::string& path, double& floor) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string body = ss.str();
+  const auto key = body.find("\"min_cases_per_sec\"");
+  if (key == std::string::npos) return false;
+  const auto colon = body.find(':', key);
+  if (colon == std::string::npos) return false;
+  floor = std::strtod(body.c_str() + colon + 1, nullptr);
+  return floor > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  bool write_baseline = false;
+  std::uint64_t cap = core::kDefaultCap;
+  std::uint64_t seed = 0x8a11157a;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      write_baseline = true;
+    } else if (std::strcmp(argv[i], "--cap") == 0 && i + 1 < argc) {
+      cap = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      baseline_path = argv[i];
+    }
+  }
+  if (baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_throughput_gate [--write-baseline] "
+                 "[--cap N] [--seed S] <baseline.json>\n");
+    return 2;
+  }
+
+  const auto world = harness::build_world();
+  const Measurement m = measure(*world, cap, seed);
+  std::printf("single-thread C-library campaign: %llu cases in %.3fs = %.0f "
+              "cases/sec\n",
+              static_cast<unsigned long long>(m.cases), m.seconds, m.rate);
+
+  if (write_baseline) {
+    std::ofstream out(baseline_path);
+    out << "{\n  \"bench\": \"throughput_gate\",\n"
+        << "  \"campaign\": \"nt4 clib jobs=1\",\n"
+        << "  \"cap\": " << cap << ",\n"
+        << "  \"min_cases_per_sec\": " << static_cast<std::uint64_t>(m.rate / 2)
+        << "\n}\n";
+    std::printf("wrote %s (floor = measured/2 = %llu cases/sec)\n",
+                baseline_path.c_str(),
+                static_cast<unsigned long long>(m.rate / 2));
+    return 0;
+  }
+
+  double floor = 0;
+  if (!read_baseline(baseline_path, floor)) {
+    std::fprintf(stderr, "cannot read min_cases_per_sec from %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  const double limit = floor * 0.9;  // >10% below the floor fails
+  std::printf("committed floor %.0f cases/sec, gate at %.0f\n", floor, limit);
+  if (m.rate < limit) {
+    std::fprintf(stderr,
+                 "THROUGHPUT REGRESSION: %.0f cases/sec is more than 10%% "
+                 "below the committed floor of %.0f\n",
+                 m.rate, floor);
+    return 3;
+  }
+  std::printf("throughput gate: ok\n");
+  return 0;
+}

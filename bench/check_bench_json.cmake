@@ -40,5 +40,23 @@ foreach(report IN LISTS reports)
   if(NOT kind STREQUAL "STRING" OR bench STREQUAL "")
     message(FATAL_ERROR "${report}: \"bench\" must be a non-empty string")
   endif()
+  # The parallel-scaling report additionally carries per-phase engine timings
+  # and scheduler health counters; downstream tooling plots them, so their
+  # absence is a contract break, not a soft degradation.
+  if(bench STREQUAL "parallel_scaling")
+    foreach(key generate_seconds generate_cases_per_sec)
+      string(JSON val ERROR_VARIABLE err GET "${body}" "${key}")
+      if(err)
+        message(FATAL_ERROR "${report}: missing \"${key}\": ${err}")
+      endif()
+    endforeach()
+    foreach(key plan_seconds execute_seconds merge_seconds shards
+                contended_steals machine_rebuilds)
+      string(JSON val ERROR_VARIABLE err GET "${body}" "runs" 0 "${key}")
+      if(err)
+        message(FATAL_ERROR "${report}: missing runs[0].\"${key}\": ${err}")
+      endif()
+    endforeach()
+  endif()
   message(STATUS "${report}: ok (bench=${bench})")
 endforeach()

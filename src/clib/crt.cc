@@ -213,6 +213,28 @@ void CharWidth::put(CallContext& ctx, Addr a, std::uint64_t i,
     mem.write_u16(a + 2 * i, static_cast<std::uint16_t>(c), sim::Access::kUser);
 }
 
+std::uint32_t CharScanner::at(std::uint64_t i) {
+  const Addr a = base_ + static_cast<Addr>(i) * static_cast<Addr>(bytes_);
+  if (a < seg_start_ || a + static_cast<Addr>(bytes_) > seg_end_) {
+    // Unaligned or page-straddling wide chars keep the plain read_u16 path so
+    // strict-alignment personalities still raise their misalignment fault.
+    if (bytes_ == 2 &&
+        (a % 2 != 0 || a % sim::kPageSize == sim::kPageSize - 1))
+      return w_.get(ctx_, base_, i);
+    auto& mem = ctx_.proc().mem();
+    const std::size_t n = sim::kPageSize - (a % sim::kPageSize);
+    // Buffer from the first touched byte of the page (not the page start) so
+    // an unmapped page faults at the character's own address.
+    mem.read_bytes(a, {buf_, n}, sim::Access::kUser);
+    seg_start_ = a;
+    seg_end_ = a + n;
+  }
+  const std::size_t off = static_cast<std::size_t>(a - seg_start_);
+  return bytes_ == 1
+             ? buf_[off]
+             : static_cast<std::uint32_t>(buf_[off] | (buf_[off + 1] << 8));
+}
+
 std::uint8_t clib_mask_all() { return core::kMaskEverything; }
 std::uint8_t clib_mask_no_ce() {
   return static_cast<std::uint8_t>(core::kMaskEverything &

@@ -123,6 +123,31 @@ struct CharWidth {
 inline constexpr CharWidth kNarrow{1};
 inline constexpr CharWidth kWide{2};
 
+/// Page-buffered sequential character reader.  Access checks are
+/// page-granular, so buffering the page a character lands in (loaded lazily,
+/// the first time the scan touches it) faults at exactly the address and
+/// point in the scan the per-character walk faulted at, while costing one
+/// page-table lookup per page instead of one per character.  Only valid for
+/// scans that do not write through the scanned range (a write would not be
+/// seen by an already-buffered page).
+class CharScanner {
+ public:
+  CharScanner(CallContext& ctx, Addr base, CharWidth w)
+      : ctx_(ctx), base_(base), bytes_(w.bytes), w_(w) {}
+
+  /// The character at index i (byte or UTF-16 code unit).  Scans must touch
+  /// indices in non-decreasing page order to preserve fault timing.
+  std::uint32_t at(std::uint64_t i);
+
+ private:
+  CallContext& ctx_;
+  Addr base_;
+  int bytes_;
+  CharWidth w_;
+  std::uint8_t buf_[4096];
+  Addr seg_start_ = 1, seg_end_ = 0;  // [start, end) byte range buf_ covers
+};
+
 /// Registers the "cfile" data type (valid / closed / NULL / dangling /
 /// string-buffer-cast / garbage-struct FILE pointers) plus clib-specific
 /// types, then all 94 C-library MuTs (and the 26 CE UNICODE twins).

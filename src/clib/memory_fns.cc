@@ -7,7 +7,9 @@
 // 9x-era CRT validated against its allocation table and quietly ignored bad
 // frees (Silent) — reproducing the paper's observation that NT/2000 have
 // *higher* C-memory Abort rates than 95/98 (§4, Figure 2 discussion).
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "clib/crt.h"
@@ -25,6 +27,24 @@ using sim::Addr;
 constexpr std::uint64_t kScanCap = 1 << 20;
 constexpr std::uint64_t kHeapMagic = 0x48454150'4348554eULL;  // "HEAPCHUN"
 constexpr std::uint64_t kHeapLimit = 16 << 20;
+
+/// Bulk copy with segments cut at every source AND destination page
+/// boundary.  Within a segment no access can fault (checks are
+/// page-granular), so faults land at segment boundaries — the same
+/// addresses, in the same read-before-write order, with the same partially
+/// written destination, as the historical byte-interleaved loop.
+void block_copy(sim::AddressSpace& mem, Addr dst, Addr src, std::uint64_t n) {
+  std::uint8_t tmp[sim::kPageSize];
+  std::uint64_t i = 0;
+  while (i < n) {
+    const std::uint64_t seg = std::min<std::uint64_t>(
+        {sim::kPageSize - ((src + i) % sim::kPageSize),
+         sim::kPageSize - ((dst + i) % sim::kPageSize), n - i});
+    mem.read_bytes(src + i, {tmp, seg}, sim::Access::kUser);
+    mem.write_bytes(dst + i, {tmp, seg}, sim::Access::kUser);
+    i += seg;
+  }
+}
 
 Addr heap_alloc(CallContext& ctx, std::uint64_t size) {
   auto& mem = ctx.proc().mem();
@@ -127,11 +147,7 @@ CallOutcome do_realloc(CallContext& ctx) {
   }
   const Addr np = heap_alloc(ctx, size);
   const std::uint64_t copy = std::min(*old_size, size);
-  for (std::uint64_t i = 0; i < copy && i < kScanCap; ++i) {
-    ctx.proc().mem().write_u8(
-        np + i, ctx.proc().mem().read_u8(p + i, sim::Access::kUser),
-        sim::Access::kUser);
-  }
+  block_copy(ctx.proc().mem(), np, p, std::min(copy, kScanCap));
   ctx.proc().default_heap()->allocations.erase(p);
   return ok(np);
 }
@@ -139,10 +155,7 @@ CallOutcome do_realloc(CallContext& ctx) {
 CallOutcome do_memcpy(CallContext& ctx) {
   const Addr dst = ctx.arg_addr(0), src = ctx.arg_addr(1);
   const std::uint64_t n = ctx.arg(2);
-  auto& mem = ctx.proc().mem();
-  for (std::uint64_t i = 0; i < n && i < kScanCap; ++i)
-    mem.write_u8(dst + i, mem.read_u8(src + i, sim::Access::kUser),
-                 sim::Access::kUser);
+  block_copy(ctx.proc().mem(), dst, src, std::min(n, kScanCap));
   return ok(dst);
 }
 
@@ -151,11 +164,10 @@ CallOutcome do_memmove(CallContext& ctx) {
   const std::uint64_t n = ctx.arg(2);
   auto& mem = ctx.proc().mem();
   const std::uint64_t len = std::min(n, kScanCap);
+  // Full gather then full scatter, as before (that is what makes it a move).
   std::vector<std::uint8_t> tmp(len);
-  for (std::uint64_t i = 0; i < len; ++i)
-    tmp[i] = mem.read_u8(src + i, sim::Access::kUser);
-  for (std::uint64_t i = 0; i < len; ++i)
-    mem.write_u8(dst + i, tmp[i], sim::Access::kUser);
+  mem.read_bytes(src, tmp, sim::Access::kUser);
+  mem.write_bytes(dst, tmp, sim::Access::kUser);
   return ok(dst);
 }
 
@@ -164,8 +176,16 @@ CallOutcome do_memset(CallContext& ctx) {
   const std::uint8_t c = static_cast<std::uint8_t>(ctx.arg32(1));
   const std::uint64_t n = ctx.arg(2);
   auto& mem = ctx.proc().mem();
-  for (std::uint64_t i = 0; i < n && i < kScanCap; ++i)
-    mem.write_u8(dst + i, c, sim::Access::kUser);
+  std::uint8_t fill[sim::kPageSize];
+  std::memset(fill, c, sizeof fill);
+  std::uint64_t i = 0;
+  const std::uint64_t len = std::min(n, kScanCap);
+  while (i < len) {
+    const std::uint64_t seg = std::min<std::uint64_t>(
+        sim::kPageSize - ((dst + i) % sim::kPageSize), len - i);
+    mem.write_bytes(dst + i, {fill, seg}, sim::Access::kUser);
+    i += seg;
+  }
   return ok(dst);
 }
 
@@ -173,10 +193,22 @@ CallOutcome do_memcmp(CallContext& ctx) {
   const Addr a = ctx.arg_addr(0), b = ctx.arg_addr(1);
   const std::uint64_t n = ctx.arg(2);
   auto& mem = ctx.proc().mem();
-  for (std::uint64_t i = 0; i < n && i < kScanCap; ++i) {
-    const std::uint8_t ca = mem.read_u8(a + i, sim::Access::kUser);
-    const std::uint8_t cb = mem.read_u8(b + i, sim::Access::kUser);
-    if (ca != cb) return ok(static_cast<std::uint64_t>(ca < cb ? -1 : 1));
+  // Segment at both operands' page boundaries: the early exit at the first
+  // differing byte never touches a page the byte-wise loop would not have
+  // reached, and the a-before-b fault order is preserved.
+  std::uint8_t ta[sim::kPageSize], tb[sim::kPageSize];
+  std::uint64_t i = 0;
+  const std::uint64_t len = std::min(n, kScanCap);
+  while (i < len) {
+    const std::uint64_t seg = std::min<std::uint64_t>(
+        {sim::kPageSize - ((a + i) % sim::kPageSize),
+         sim::kPageSize - ((b + i) % sim::kPageSize), len - i});
+    mem.read_bytes(a + i, {ta, seg}, sim::Access::kUser);
+    mem.read_bytes(b + i, {tb, seg}, sim::Access::kUser);
+    for (std::uint64_t k = 0; k < seg; ++k)
+      if (ta[k] != tb[k])
+        return ok(static_cast<std::uint64_t>(ta[k] < tb[k] ? -1 : 1));
+    i += seg;
   }
   return ok(0);
 }
@@ -186,8 +218,20 @@ CallOutcome do_memchr(CallContext& ctx) {
   const std::uint8_t c = static_cast<std::uint8_t>(ctx.arg32(1));
   const std::uint64_t n = ctx.arg(2);
   auto& mem = ctx.proc().mem();
-  for (std::uint64_t i = 0; i < n && i < kScanCap; ++i)
-    if (mem.read_u8(s + i, sim::Access::kUser) == c) return ok(s + i);
+  std::uint8_t tmp[sim::kPageSize];
+  std::uint64_t i = 0;
+  const std::uint64_t len = std::min(n, kScanCap);
+  while (i < len) {
+    const std::uint64_t seg = std::min<std::uint64_t>(
+        sim::kPageSize - ((s + i) % sim::kPageSize), len - i);
+    mem.read_bytes(s + i, {tmp, seg}, sim::Access::kUser);
+    const void* hit = std::memchr(tmp, c, seg);
+    if (hit != nullptr)
+      return ok(s + i +
+                static_cast<std::uint64_t>(static_cast<const std::uint8_t*>(hit) -
+                                           tmp));
+    i += seg;
+  }
   return ok(0);
 }
 

@@ -43,9 +43,7 @@ bool store_bytes(CallContext& ctx, Addr a, std::span<const std::uint8_t> in) {
     (void)ctx.k_write(a, in);  // corruption/panic handled inside
     return true;
   }
-  auto& mem = ctx.proc().mem();
-  for (std::size_t i = 0; i < in.size(); ++i)
-    mem.write_u8(a + i, in[i], sim::Access::kUser);
+  ctx.proc().mem().write_bytes(a, in, sim::Access::kUser);
   return true;
 }
 
@@ -57,9 +55,7 @@ std::vector<std::uint8_t> load_bytes(CallContext& ctx, Addr a,
     (void)ctx.k_read(a, out);
     return out;
   }
-  auto& mem = ctx.proc().mem();
-  for (std::uint64_t i = 0; i < n; ++i)
-    out[i] = mem.read_u8(a + i, sim::Access::kUser);
+  ctx.proc().mem().read_bytes(a, out, sim::Access::kUser);
   return out;
 }
 
@@ -189,12 +185,10 @@ core::ApiImpl fputs_fn(CharWidth w, bool with_file, bool newline) {
     }
     if (ref.status != FileRef::Status::kOk)
       return core::error_reported(static_cast<std::uint64_t>(-1));
-    auto& mem = ctx.proc().mem();
+    CharScanner sc(ctx, s, w);
     std::vector<std::uint8_t> data;
     for (std::uint64_t i = 0; i < kIoCap; ++i) {
-      const std::uint32_t c = w.bytes == 1
-                                  ? mem.read_u8(s + i, sim::Access::kUser)
-                                  : mem.read_u16(s + 2 * i, sim::Access::kUser);
+      const std::uint32_t c = sc.at(i);
       if (c == 0) break;
       data.push_back(static_cast<std::uint8_t>(c & 0xff));
     }
@@ -210,12 +204,11 @@ core::ApiImpl fputs_fn(CharWidth w, bool with_file, bool newline) {
 std::string format_no_args(CallContext& ctx, Addr fmt, CharWidth w,
                            bool* ok_out) {
   auto& mem = ctx.proc().mem();
+  CharScanner sc(ctx, fmt, w);
   std::string out;
   *ok_out = true;
   for (std::uint64_t i = 0; i < kIoCap; ++i) {
-    const std::uint32_t c = w.bytes == 1
-                                ? mem.read_u8(fmt + i, sim::Access::kUser)
-                                : mem.read_u16(fmt + 2 * i, sim::Access::kUser);
+    const std::uint32_t c = sc.at(i);
     if (c == 0) break;
     if (c != '%') {
       out.push_back(static_cast<char>(c & 0xff));
@@ -226,8 +219,7 @@ std::string format_no_args(CallContext& ctx, Addr fmt, CharWidth w,
     std::uint64_t width = 0;
     std::uint32_t conv = 0;
     for (; i < kIoCap; ++i) {
-      conv = w.bytes == 1 ? mem.read_u8(fmt + i, sim::Access::kUser)
-                          : mem.read_u16(fmt + 2 * i, sim::Access::kUser);
+      conv = sc.at(i);
       if (conv >= '0' && conv <= '9') {
         width = width * 10 + (conv - '0');
         continue;
@@ -311,25 +303,21 @@ core::ApiImpl sprintf_fn(CharWidth w) {
 CallOutcome scan_no_args(CallContext& ctx, const std::string& input, Addr fmt,
                          CharWidth w) {
   auto& mem = ctx.proc().mem();
+  CharScanner sc(ctx, fmt, w);
   int converted = 0;
   std::size_t pos = 0;
   for (std::uint64_t i = 0; i < kIoCap; ++i) {
-    const std::uint32_t c = w.bytes == 1
-                                ? mem.read_u8(fmt + i, sim::Access::kUser)
-                                : mem.read_u16(fmt + 2 * i, sim::Access::kUser);
+    const std::uint32_t c = sc.at(i);
     if (c == 0) break;
     if (c != '%') {
       if (pos < input.size() && input[pos] == static_cast<char>(c)) ++pos;
       continue;
     }
     ++i;
-    std::uint32_t conv = w.bytes == 1
-                             ? mem.read_u8(fmt + i, sim::Access::kUser)
-                             : mem.read_u16(fmt + 2 * i, sim::Access::kUser);
+    std::uint32_t conv = sc.at(i);
     while (conv == 'l' || conv == 'h' || (conv >= '0' && conv <= '9')) {
       ++i;
-      conv = w.bytes == 1 ? mem.read_u8(fmt + i, sim::Access::kUser)
-                          : mem.read_u16(fmt + 2 * i, sim::Access::kUser);
+      conv = sc.at(i);
     }
     while (pos < input.size() && input[pos] == ' ') ++pos;
     switch (conv) {
@@ -378,10 +366,10 @@ core::ApiImpl fscanf_fn(CharWidth w) {
 }
 
 CallOutcome sscanf_impl(CallContext& ctx) {
-  auto& mem = ctx.proc().mem();
+  CharScanner sc(ctx, ctx.arg_addr(0), kNarrow);
   std::string input;
   for (std::uint64_t i = 0; i < 4096; ++i) {
-    const std::uint8_t c = mem.read_u8(ctx.arg_addr(0) + i, sim::Access::kUser);
+    const std::uint32_t c = sc.at(i);
     if (c == 0) break;
     input.push_back(static_cast<char>(c));
   }

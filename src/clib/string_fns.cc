@@ -25,17 +25,19 @@ using sim::Addr;
 constexpr std::uint64_t kScanCap = 1 << 20;  // bound runaway scans
 
 std::uint64_t c_strlen(CallContext& ctx, Addr s, CharWidth w) {
+  CharScanner sc(ctx, s, w);
   std::uint64_t i = 0;
-  while (i < kScanCap && w.get(ctx, s, i) != 0) ++i;
+  while (i < kScanCap && sc.at(i) != 0) ++i;
   return i;
 }
 
 /// Reads a bounded host copy of a NUL-terminated simulated string.
 std::string c_str_host(CallContext& ctx, Addr s, CharWidth w,
                        std::uint64_t cap = 65536) {
+  CharScanner sc(ctx, s, w);
   std::string out;
   for (std::uint64_t i = 0; i < cap; ++i) {
-    const std::uint32_t c = w.get(ctx, s, i);
+    const std::uint32_t c = sc.at(i);
     if (c == 0) break;
     out.push_back(static_cast<char>(c & 0xff));
   }
@@ -49,9 +51,10 @@ core::ApiImpl strlen_fn(CharWidth w) {
 core::ApiImpl strcpy_fn(CharWidth w) {
   return [w](CallContext& ctx) {
     const Addr dst = ctx.arg_addr(0), src = ctx.arg_addr(1);
+    CharScanner sc(ctx, src, w);  // reads stay src-faithful; writes per-char
     std::uint64_t i = 0;
     for (; i < kScanCap; ++i) {
-      const std::uint32_t c = w.get(ctx, src, i);
+      const std::uint32_t c = sc.at(i);
       w.put(ctx, dst, i, c);
       if (c == 0) break;
     }
@@ -63,8 +66,9 @@ core::ApiImpl strcat_fn(CharWidth w) {
   return [w](CallContext& ctx) {
     const Addr dst = ctx.arg_addr(0), src = ctx.arg_addr(1);
     std::uint64_t base = c_strlen(ctx, dst, w);
+    CharScanner sc(ctx, src, w);
     for (std::uint64_t i = 0; i < kScanCap; ++i) {
-      const std::uint32_t c = w.get(ctx, src, i);
+      const std::uint32_t c = sc.at(i);
       w.put(ctx, dst, base + i, c);
       if (c == 0) break;
     }
@@ -77,9 +81,10 @@ core::ApiImpl strncat_fn(CharWidth w) {
     const Addr dst = ctx.arg_addr(0), src = ctx.arg_addr(1);
     const std::uint64_t n = ctx.arg(2);
     const std::uint64_t base = c_strlen(ctx, dst, w);
+    CharScanner sc(ctx, src, w);
     std::uint64_t i = 0;
     for (; i < n && i < kScanCap; ++i) {
-      const std::uint32_t c = w.get(ctx, src, i);
+      const std::uint32_t c = sc.at(i);
       if (c == 0) break;
       w.put(ctx, dst, base + i, c);
     }
@@ -108,9 +113,10 @@ core::ApiImpl strncpy_fn(CharWidth w) {
       if (s == MemStatus::kSilent) return core::silent_success(dst);
       return ok(dst);
     }
+    CharScanner sc(ctx, src, w);
     std::uint64_t i = 0;
     for (; i < n && i < kScanCap; ++i) {
-      const std::uint32_t c = w.get(ctx, src, i);
+      const std::uint32_t c = sc.at(i);
       w.put(ctx, dst, i, c);
       if (c == 0) {
         ++i;
@@ -125,8 +131,9 @@ core::ApiImpl strncpy_fn(CharWidth w) {
 core::ApiImpl strcmp_fn(CharWidth w) {
   return [w](CallContext& ctx) {
     const Addr a = ctx.arg_addr(0), b = ctx.arg_addr(1);
+    CharScanner sa(ctx, a, w), sb(ctx, b, w);
     for (std::uint64_t i = 0; i < kScanCap; ++i) {
-      const std::uint32_t ca = w.get(ctx, a, i), cb = w.get(ctx, b, i);
+      const std::uint32_t ca = sa.at(i), cb = sb.at(i);
       if (ca != cb)
         return ok(static_cast<std::uint64_t>(ca < cb ? -1 : 1));
       if (ca == 0) break;
@@ -139,8 +146,9 @@ core::ApiImpl strncmp_fn(CharWidth w) {
   return [w](CallContext& ctx) {
     const Addr a = ctx.arg_addr(0), b = ctx.arg_addr(1);
     const std::uint64_t n = ctx.arg(2);
+    CharScanner sa(ctx, a, w), sb(ctx, b, w);
     for (std::uint64_t i = 0; i < n && i < kScanCap; ++i) {
-      const std::uint32_t ca = w.get(ctx, a, i), cb = w.get(ctx, b, i);
+      const std::uint32_t ca = sa.at(i), cb = sb.at(i);
       if (ca != cb)
         return ok(static_cast<std::uint64_t>(ca < cb ? -1 : 1));
       if (ca == 0) break;
@@ -153,9 +161,10 @@ core::ApiImpl strchr_fn(CharWidth w, bool reverse) {
   return [w, reverse](CallContext& ctx) {
     const Addr s = ctx.arg_addr(0);
     const std::uint32_t target = ctx.arg32(1) & (w.bytes == 1 ? 0xffu : 0xffffu);
+    CharScanner sc(ctx, s, w);
     Addr found = 0;
     for (std::uint64_t i = 0; i < kScanCap; ++i) {
-      const std::uint32_t c = w.get(ctx, s, i);
+      const std::uint32_t c = sc.at(i);
       if (c == target) {
         found = s + i * w.bytes;
         if (!reverse) return ok(found);
@@ -170,9 +179,10 @@ core::ApiImpl strspn_fn(CharWidth w, bool complement) {
   return [w, complement](CallContext& ctx) {
     const Addr s = ctx.arg_addr(0), accept = ctx.arg_addr(1);
     const std::string set = c_str_host(ctx, accept, w);
+    CharScanner sc(ctx, s, w);
     std::uint64_t i = 0;
     for (; i < kScanCap; ++i) {
-      const std::uint32_t c = w.get(ctx, s, i);
+      const std::uint32_t c = sc.at(i);
       if (c == 0) break;
       const bool in_set =
           set.find(static_cast<char>(c & 0xff)) != std::string::npos;
@@ -186,8 +196,9 @@ core::ApiImpl strpbrk_fn(CharWidth w) {
   return [w](CallContext& ctx) {
     const Addr s = ctx.arg_addr(0), set_addr = ctx.arg_addr(1);
     const std::string set = c_str_host(ctx, set_addr, w);
+    CharScanner sc(ctx, s, w);
     for (std::uint64_t i = 0; i < kScanCap; ++i) {
-      const std::uint32_t c = w.get(ctx, s, i);
+      const std::uint32_t c = sc.at(i);
       if (c == 0) break;
       if (set.find(static_cast<char>(c & 0xff)) != std::string::npos)
         return ok(s + i * w.bytes);
@@ -214,17 +225,19 @@ core::ApiImpl strtok_fn(CharWidth w) {
     const Addr delim = ctx.arg_addr(1);
     if (s == 0) s = st.strtok_next;  // continue previous scan (0 => deref 0)
     const std::string set = c_str_host(ctx, delim, w);
+    // The single put below is the last access, so buffered reads stay fresh.
+    CharScanner sc(ctx, s, w);
     std::uint64_t i = 0;
     // skip leading delimiters
     while (i < kScanCap) {
-      const std::uint32_t c = w.get(ctx, s, i);
+      const std::uint32_t c = sc.at(i);
       if (c == 0) return ok(0);
       if (set.find(static_cast<char>(c & 0xff)) == std::string::npos) break;
       ++i;
     }
     const std::uint64_t start = i;
     while (i < kScanCap) {
-      const std::uint32_t c = w.get(ctx, s, i);
+      const std::uint32_t c = sc.at(i);
       if (c == 0) {
         st.strtok_next = s + i * w.bytes;
         return ok(s + start * w.bytes);

@@ -27,8 +27,9 @@
 
 namespace ballista::core {
 
-struct Shard;         // core/plan.h
-struct ShardOutcome;  // core/sched.h
+struct Shard;          // core/plan.h
+struct ShardOutcome;   // core/sched.h
+struct EngineMetrics;  // core/sched.h
 
 /// Compact per-case record kept for the Figure 2 voting analysis.
 enum class CaseCode : std::uint8_t {
@@ -132,6 +133,13 @@ struct CampaignOptions {
   /// Maximum case-range size when the planner slices hazard-free MuTs into
   /// parallel shards (see core/plan.h).
   std::uint64_t shard_cases = 2048;
+  /// Cache-footprint budget per shard in simulated bytes (see
+  /// PlanOptions::shard_bytes).  Unset keeps pure case-count slicing and the
+  /// historical shard boundaries.
+  std::optional<std::uint64_t> shard_bytes;
+  /// When non-null, run_engine fills these observability counters (phase
+  /// timings, steal contention, machine rebuilds).  Never affects results.
+  EngineMetrics* metrics = nullptr;
   /// Persistent-store hooks (src/store).  `shard_cache` is consulted before
   /// a shard executes: returning non-null substitutes the cached outcome and
   /// skips execution entirely (the --resume path; cached shards do NOT fire

@@ -205,18 +205,26 @@ MemStatus CallContext::k_read_str(sim::Addr a, std::string* out,
 
   switch (os().pointer_policy) {
     case sim::PointerPolicy::kProbeReturnError: {
+      // Probe-as-you-go, page-wise: accessibility is page-granular, so
+      // probing the first byte of each page segment covers the segment and
+      // rejects at exactly the address the historical byte-wise walk
+      // rejected at (the first byte the walk touches in the bad page).
       out->clear();
-      for (std::size_t i = 0; i < max_len; ++i) {
+      std::size_t i = 0;
+      while (i < max_len) {
         if (!mem.check_range(a + i, 1, false, sim::Access::kUser)) {
           emit_probe(trace::ProbeResult::kRejected, a + i, 1, false);
           return MemStatus::kError;
         }
-        const std::uint8_t c = mem.read_u8(a + i, sim::Access::kKernel);
-        if (c == 0) {
-          emit_probe(trace::ProbeResult::kOk, a, i, false);
+        const std::size_t n = std::min<std::size_t>(
+            sim::kPageSize - ((a + i) % sim::kPageSize), max_len - i);
+        const std::string seg = mem.read_cstr(a + i, n, sim::Access::kKernel);
+        out->append(seg);
+        if (seg.size() < n) {
+          emit_probe(trace::ProbeResult::kOk, a, i + seg.size(), false);
           return MemStatus::kOk;
         }
-        out->push_back(static_cast<char>(c));
+        i += n;
       }
       emit_probe(trace::ProbeResult::kOk, a, max_len, false);
       return MemStatus::kOk;

@@ -46,4 +46,53 @@ std::vector<const TestValue*> TupleGenerator::tuple(std::uint64_t i) const {
   return out;
 }
 
+TupleCursor::TupleCursor(const TupleGenerator& gen, std::uint64_t first,
+                         TupleScratch& scratch)
+    : gen_(&gen), scratch_(&scratch), width_(gen.pools_.size()), index_(first) {
+  assert(first < gen.count_);
+  scratch.values.resize(width_);
+  scratch.digits.resize(width_);
+  if (gen.exhaustive_) {
+    std::uint64_t rem = first;
+    for (std::size_t d = 0; d < width_; ++d) {
+      const auto& p = gen.pools_[d];
+      const auto digit = static_cast<std::uint32_t>(rem % p.size());
+      scratch.digits[d] = digit;
+      scratch.values[d] = p[digit];
+      rem /= p.size();
+    }
+  } else {
+    SplitMix64 rng(gen.seed_ + 0x9e3779b97f4a7c15ULL * (first + 1));
+    for (std::size_t d = 0; d < width_; ++d) {
+      const auto& p = gen.pools_[d];
+      scratch.values[d] = p[rng.next_below(p.size())];
+    }
+  }
+}
+
+void TupleCursor::advance() {
+  ++index_;
+  assert(index_ < gen_->count_);
+  if (gen_->exhaustive_) {
+    // Increment the odometer in place: only digits that actually roll over
+    // are rewritten, so a step is O(1) amortized rather than O(width).
+    for (std::size_t d = 0; d < width_; ++d) {
+      const auto& p = gen_->pools_[d];
+      if (++scratch_->digits[d] < p.size()) {
+        scratch_->values[d] = p[scratch_->digits[d]];
+        return;
+      }
+      scratch_->digits[d] = 0;
+      scratch_->values[d] = p[0];
+    }
+    assert(false && "advance past exhaustive stream end");
+  } else {
+    SplitMix64 rng(gen_->seed_ + 0x9e3779b97f4a7c15ULL * (index_ + 1));
+    for (std::size_t d = 0; d < width_; ++d) {
+      const auto& p = gen_->pools_[d];
+      scratch_->values[d] = p[rng.next_below(p.size())];
+    }
+  }
+}
+
 }  // namespace ballista::core

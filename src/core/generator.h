@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,6 +18,45 @@
 namespace ballista::core {
 
 inline constexpr std::uint64_t kDefaultCap = 5000;
+
+class TupleGenerator;
+
+/// Caller-owned scratch for batched generation: the value slots a cursor
+/// fills plus the odometer digits for exhaustive streams.  One instance can
+/// be reused across every cursor (and every MuT) a worker runs, so the shard
+/// hot loop performs no per-case allocation.
+struct TupleScratch {
+  std::vector<const TestValue*> values;
+  std::vector<std::uint32_t> digits;
+};
+
+/// Forward-only iterator over a generator's tuple stream.  Yields exactly
+/// the tuples `TupleGenerator::tuple(i)` yields, but an exhaustive stream
+/// advances by incrementing the mixed-radix odometer in place (amortized
+/// O(1) digits touched per step) instead of re-deriving every position, and
+/// neither mode allocates after construction.
+class TupleCursor {
+ public:
+  /// The current tuple.  Valid until the next advance()/seek() on the same
+  /// scratch; do not retain across steps.
+  std::span<const TestValue* const> values() const noexcept {
+    return {scratch_->values.data(), width_};
+  }
+  std::uint64_t index() const noexcept { return index_; }
+
+  /// Steps to tuple index()+1.  Precondition: index()+1 < generator count.
+  void advance();
+
+ private:
+  friend class TupleGenerator;
+  TupleCursor(const TupleGenerator& gen, std::uint64_t first,
+              TupleScratch& scratch);
+
+  const TupleGenerator* gen_;
+  TupleScratch* scratch_;
+  std::size_t width_ = 0;
+  std::uint64_t index_ = 0;
+};
 
 class TupleGenerator {
  public:
@@ -30,10 +70,21 @@ class TupleGenerator {
   std::uint64_t combination_count() const noexcept { return combos_; }
 
   /// Tuple #i (0 <= i < count()).  Deterministic: (mut, cap, seed, i) fully
-  /// determine the result.
+  /// determine the result.  This stateless form is the reference the cursor
+  /// is tested against, and what repro/analysis paths use to revisit a
+  /// single case.
   std::vector<const TestValue*> tuple(std::uint64_t i) const;
 
+  /// A cursor positioned on tuple `first`, filling `scratch` (resized as
+  /// needed; contents need not survive between cursors).  The cursor and its
+  /// values are valid only while both this generator and `scratch` outlive
+  /// it.
+  TupleCursor begin(std::uint64_t first, TupleScratch& scratch) const {
+    return TupleCursor(*this, first, scratch);
+  }
+
  private:
+  friend class TupleCursor;
   std::vector<std::vector<const TestValue*>> pools_;
   std::uint64_t combos_ = 1;
   std::uint64_t count_ = 0;

@@ -1,6 +1,8 @@
 #include "core/sched.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -31,17 +33,25 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
       trace::EventKind::kShardStart, shard.index,
       static_cast<std::uint32_t>(shard.items.size())));
 
+  // One scratch for the whole shard: the per-case tuple is generated into it
+  // by cursor advance, so the hot loop allocates nothing.
+  TupleScratch scratch;
+
   for (const ShardItem& item : shard.items) {
     const std::int64_t self = static_cast<std::int64_t>(out.partials.size());
     out.partials.push_back({item.mut_index, item.range.first, {}});
     MutStats& stats = out.partials.back().stats;
     stats.mut = item.mut;
     stats.planned = item.planned;
+    if (item.range.count == 0) continue;
     TupleGenerator gen(*item.mut, opt.cap, opt.seed);
     const std::uint64_t end = item.range.first + item.range.count;
+    if (opt.record_cases)
+      stats.case_codes.reserve(static_cast<std::size_t>(item.range.count));
+    TupleCursor cur = gen.begin(item.range.first, scratch);
 
-    for (std::uint64_t i = item.range.first; i < end; ++i) {
-      const auto tuple = gen.tuple(i);
+    for (std::uint64_t i = item.range.first; i < end;) {
+      const auto tuple = cur.values();
       const CaseResult r =
           executor.run_case(*item.mut, tuple, static_cast<std::int64_t>(i));
       ++stats.executed;
@@ -119,6 +129,8 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
           break;
         }
       }
+      ++i;
+      if (i < end) cur.advance();
     }
   }
   machine.trace().emit(trace::shard_event(
@@ -127,44 +139,45 @@ ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
   return out;
 }
 
+struct MachinePool::Slot {
+  /// MRU-ordered variant cache; front is the most recently used machine.
+  /// Touched only by the owning worker thread.
+  std::vector<std::unique_ptr<sim::Machine>> cache;
+  /// Relaxed atomic so machine_rebuilds() may be read while workers run.
+  std::atomic<std::uint64_t> rebuilds{0};
+};
+
 MachinePool::MachinePool(sim::OsVariant variant, unsigned workers)
-    : variant_(variant), machines_(std::max(workers, 1u)) {}
+    : variant_(variant),
+      workers_(std::max(workers, 1u)),
+      slots_(workers_) {}
+
+MachinePool::~MachinePool() = default;
 
 sim::Machine& MachinePool::checkout(unsigned worker) {
   return checkout(worker, variant_);
 }
 
 sim::Machine& MachinePool::checkout(unsigned worker, sim::OsVariant variant) {
-  auto& slot = machines_.at(worker);
-  if (!slot || slot->variant() != variant)
-    slot = std::make_unique<sim::Machine>(variant);
-  else
-    slot->restore(sim::RestoreLevel::kFullReset);
-  return *slot;
-}
-
-ShardQueue::ShardQueue(const Plan& plan, unsigned workers)
-    : queues_(std::max(workers, 1u)) {
-  for (const Shard& s : plan.shards)
-    queues_[s.index % queues_.size()].push_back(&s);
-}
-
-const Shard* ShardQueue::next(unsigned worker) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& own = queues_.at(worker);
-  if (!own.empty()) {
-    const Shard* s = own.front();
-    own.pop_front();
-    return s;
+  auto& cache = slots_.at(worker).cache;
+  for (std::size_t k = 0; k < cache.size(); ++k) {
+    if (cache[k]->variant() == variant) {
+      if (k != 0)
+        std::rotate(cache.begin(), cache.begin() + k, cache.begin() + k + 1);
+      cache.front()->restore(sim::RestoreLevel::kFullReset);
+      return *cache.front();
+    }
   }
-  // Steal from the back of the richest victim.
-  auto victim = std::max_element(
-      queues_.begin(), queues_.end(),
-      [](const auto& a, const auto& b) { return a.size() < b.size(); });
-  if (victim == queues_.end() || victim->empty()) return nullptr;
-  const Shard* s = victim->back();
-  victim->pop_back();
-  return s;
+  slots_[worker].rebuilds.fetch_add(1, std::memory_order_relaxed);
+  cache.insert(cache.begin(), std::make_unique<sim::Machine>(variant));
+  if (cache.size() > kSlotCacheCap) cache.pop_back();
+  return *cache.front();
+}
+
+std::uint64_t MachinePool::machine_rebuilds() const noexcept {
+  std::uint64_t n = 0;
+  for (const Slot& s : slots_) n += s.rebuilds.load(std::memory_order_relaxed);
+  return n;
 }
 
 CampaignResult merge_outcomes(const Plan& plan,
@@ -180,12 +193,23 @@ CampaignResult merge_outcomes(const Plan& plan,
               return a.shard_index < b.shard_index;
             });
 
+  // Counting pass: how many partials and per-case codes land on each MuT, so
+  // the fold below can move single-partial payloads wholesale and size the
+  // multi-partial appends exactly once.
+  std::vector<std::uint32_t> parts(result.stats.size(), 0);
+  std::vector<std::size_t> code_total(result.stats.size(), 0);
+  for (const ShardOutcome& o : outcomes)
+    for (const auto& p : o.partials) {
+      ++parts[p.mut_index];
+      code_total[p.mut_index] += p.stats.case_codes.size();
+    }
+
   for (ShardOutcome& o : outcomes) {
     result.reboots += o.reboots;
     result.total_cases += o.executed_cases;
     for (ShardOutcome::MutPartial& p : o.partials) {
-      MutStats& dst = result.stats.at(p.mut_index);
-      const MutStats& src = p.stats;
+      MutStats& dst = result.stats[p.mut_index];
+      MutStats& src = p.stats;
       dst.planned = src.planned;
       dst.executed += src.executed;
       dst.passes += src.passes;
@@ -194,16 +218,23 @@ CampaignResult merge_outcomes(const Plan& plan,
       dst.silent_candidates += src.silent_candidates;
       dst.hindering += src.hindering;
       // Ranges of one MuT occupy consecutive shards in ascending case order,
-      // so appending per shard keeps case_codes index-aligned.
-      dst.case_codes.insert(dst.case_codes.end(), src.case_codes.begin(),
-                            src.case_codes.end());
+      // so appending per shard keeps case_codes index-aligned.  The common
+      // case — the whole MuT in one shard — moves the vector instead.
+      if (parts[p.mut_index] == 1) {
+        dst.case_codes = std::move(src.case_codes);
+      } else {
+        if (dst.case_codes.empty())
+          dst.case_codes.reserve(code_total[p.mut_index]);
+        dst.case_codes.insert(dst.case_codes.end(), src.case_codes.begin(),
+                              src.case_codes.end());
+      }
       dst.event_counts += src.event_counts;
       if (src.catastrophic && !dst.catastrophic) {
         dst.catastrophic = true;
         dst.crash_case = src.crash_case;
-        dst.crash_detail = src.crash_detail;
-        dst.crash_tuple = src.crash_tuple;
-        dst.crash_trace = src.crash_trace;
+        dst.crash_detail = std::move(src.crash_detail);
+        dst.crash_tuple = std::move(src.crash_tuple);
+        dst.crash_trace = std::move(src.crash_trace);
         dst.crash_reproducible_single = src.crash_reproducible_single;
       }
     }
@@ -220,13 +251,34 @@ Plan plan_for(sim::OsVariant variant, const Registry& registry,
   popt.only_api = opt.only_api;
   popt.group_mask = opt.group_mask;
   popt.shard_cases = opt.shard_cases;
+  popt.shard_bytes = opt.shard_bytes;
   popt.single_shard = static_cast<bool>(opt.machine_setup);
   return make_plan(variant, registry, popt);
 }
 
+namespace {
+
+/// Wait-free completion hand-off: each worker appends finished shard indices
+/// to its own ring and publishes with a release store; the engine thread is
+/// the only consumer.  Capacity is the full shard count, so a producer can
+/// never block or wrap.
+struct CompletionRing {
+  std::vector<std::size_t> slots;
+  alignas(64) std::atomic<std::size_t> published{0};
+  std::size_t drained = 0;  // engine-thread-only cursor
+};
+
+}  // namespace
+
 CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
                           const CampaignOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  const auto t0 = Clock::now();
   const Plan plan = plan_for(variant, registry, opt);
+  const auto t_planned = Clock::now();
 
   const unsigned jobs =
       std::max(1u, std::min<unsigned>(
@@ -242,6 +294,9 @@ CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
     return opt.shard_cache ? opt.shard_cache(s) : nullptr;
   };
 
+  std::uint64_t contended_steals = 0;
+  std::uint64_t machine_rebuilds = 0;
+
   if (jobs == 1) {
     MachinePool pool(variant, 1);
     for (const Shard& s : plan.shards) {
@@ -252,10 +307,15 @@ CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
       outcomes[s.index] = run_shard(pool.checkout(0), s, opt);
       if (opt.on_shard_complete) opt.on_shard_complete(outcomes[s.index]);
     }
+    machine_rebuilds = pool.machine_rebuilds();
   } else {
     MachinePool pool(variant, jobs);
     ShardQueue queue(plan, jobs);
-    std::mutex complete_mu;  // serializes on_shard_complete across workers
+    std::vector<CompletionRing> rings(jobs);
+    if (opt.on_shard_complete)
+      for (auto& r : rings) r.slots.resize(plan.shards.size());
+    std::atomic<unsigned> active{jobs};
+    std::atomic<bool> stop{false};
     std::vector<std::exception_ptr> errors(jobs);
     std::vector<std::thread> workers;
     workers.reserve(jobs);
@@ -263,26 +323,74 @@ CampaignResult run_engine(sim::OsVariant variant, const Registry& registry,
       workers.emplace_back([&, w] {
         try {
           while (const Shard* s = queue.next(w)) {
+            if (stop.load(std::memory_order_relaxed)) break;
             if (const ShardOutcome* c = cached(*s)) {
               outcomes[s->index] = *c;
               continue;
             }
             outcomes[s->index] = run_shard(pool.checkout(w), *s, opt);
             if (opt.on_shard_complete) {
-              std::lock_guard<std::mutex> lock(complete_mu);
-              opt.on_shard_complete(outcomes[s->index]);
+              CompletionRing& r = rings[w];
+              const std::size_t n =
+                  r.published.load(std::memory_order_relaxed);
+              r.slots[n] = s->index;
+              r.published.store(n + 1, std::memory_order_release);
             }
           }
         } catch (...) {
           errors[w] = std::current_exception();
         }
+        active.fetch_sub(1, std::memory_order_release);
       });
+    }
+
+    // The engine thread drains completion rings while workers run, replacing
+    // the old per-worker critical section: workers publish and move on, and
+    // on_shard_complete calls stay serialized because this is the sole
+    // consumer.  A throwing hook aborts the campaign: stop the workers,
+    // join, rethrow.
+    std::exception_ptr hook_error;
+    if (opt.on_shard_complete) {
+      for (;;) {
+        const bool final_pass =
+            active.load(std::memory_order_acquire) == 0;
+        for (CompletionRing& r : rings) {
+          const std::size_t pub = r.published.load(std::memory_order_acquire);
+          while (r.drained < pub && !hook_error) {
+            try {
+              opt.on_shard_complete(outcomes[r.slots[r.drained]]);
+            } catch (...) {
+              hook_error = std::current_exception();
+              stop.store(true, std::memory_order_relaxed);
+            }
+            ++r.drained;
+          }
+          if (hook_error) break;
+        }
+        if (hook_error || final_pass) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
     }
     for (auto& t : workers) t.join();
     for (auto& e : errors)
       if (e) std::rethrow_exception(e);
+    if (hook_error) std::rethrow_exception(hook_error);
+    contended_steals = queue.contended_steals();
+    machine_rebuilds = pool.machine_rebuilds();
   }
-  return merge_outcomes(plan, std::move(outcomes));
+
+  const auto t_executed = Clock::now();
+  CampaignResult result = merge_outcomes(plan, std::move(outcomes));
+  if (opt.metrics) {
+    opt.metrics->plan_seconds = seconds(t0, t_planned);
+    opt.metrics->execute_seconds = seconds(t_planned, t_executed);
+    opt.metrics->merge_seconds = seconds(t_executed, Clock::now());
+    opt.metrics->shards = plan.shards.size();
+    opt.metrics->jobs = jobs;
+    opt.metrics->contended_steals = contended_steals;
+    opt.metrics->machine_rebuilds = machine_rebuilds;
+  }
+  return result;
 }
 
 }  // namespace ballista::core

@@ -1,14 +1,16 @@
 // Scheduling, execution and merge layers of the campaign engine.
 //
-//   plan      (core/plan)   enumerate shards, no machine involved
-//   schedule  (this file)   MachinePool + work-stealing ShardQueue +
-//                           std::thread workers; jobs = 1 degenerates to the
-//                           exact legacy sequential order
-//   execute   (this file)   run_shard mirrors the legacy single-machine loop
-//                           (crash blame, reboot bookkeeping, repro pass) on
-//                           one pooled machine
-//   merge     (this file)   fold per-shard MutStats back into a
-//                           CampaignResult in plan order
+//   plan      (core/plan)      enumerate shards, no machine involved
+//   schedule  (core/workqueue) per-worker Chase–Lev deques + seeded stealing;
+//             (this file)      MachinePool + std::thread workers; jobs = 1
+//                              degenerates to the exact legacy sequential
+//                              order
+//   execute   (this file)      run_shard mirrors the legacy single-machine
+//                              loop (crash blame, reboot bookkeeping, repro
+//                              pass) on one pooled machine
+//   merge     (this file)      fold per-shard MutStats back into a
+//                              CampaignResult in plan order, moving bulk
+//                              payloads instead of copying them
 //
 // Determinism contract: for the same (variant, registry, cap, seed), the
 // merged CampaignResult is bit-identical for any worker count, and identical
@@ -17,13 +19,13 @@
 // fixed by the plan, not by thread timing.
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/campaign.h"
 #include "core/plan.h"
+#include "core/workqueue.h"
 #include "sim/machine.h"
 
 namespace ballista::core {
@@ -44,54 +46,66 @@ struct ShardOutcome {
   std::uint64_t executed_cases = 0;
 };
 
+/// Observability counters for one run_engine invocation, filled when
+/// CampaignOptions::metrics points at an instance.  Purely diagnostic: the
+/// merged CampaignResult never depends on any of these.
+struct EngineMetrics {
+  double plan_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double merge_seconds = 0.0;
+  std::uint64_t shards = 0;
+  unsigned jobs = 0;
+  /// Steal attempts that lost a claim race in the work-stealing queue.
+  std::uint64_t contended_steals = 0;
+  /// Machines constructed from scratch by the pool (cache misses).
+  std::uint64_t machine_rebuilds = 0;
+};
+
 /// Executes one shard.  Precondition: `machine` is in freshly-booted state
 /// (MachinePool::checkout provides that).  Applies opt.machine_setup when
 /// set — the plan guarantees such campaigns are single-shard.
 ShardOutcome run_shard(sim::Machine& machine, const Shard& shard,
                        const CampaignOptions& opt);
 
-/// Independent sim::Machine instances, one per worker.  Machines are built
-/// lazily and reset to pristine boot state on every checkout, so a pooled
-/// machine is indistinguishable from a freshly constructed one.
+/// Independent sim::Machine instances, one per worker.  Each worker slot
+/// keeps a small MRU cache keyed by OS variant: the campaign service
+/// multiplexes sessions on different variants over one pool, and rebuilding
+/// a machine (boot + personality setup) is far more expensive than restoring
+/// one, so a slot bouncing between a handful of variants stops paying the
+/// rebuild on every switch.  A cached machine is reset to pristine boot
+/// state on every checkout, so it is indistinguishable from a freshly
+/// constructed one.
 class MachinePool {
  public:
-  MachinePool(sim::OsVariant variant, unsigned workers);
+  /// Distinct variants one worker slot keeps warm before evicting the
+  /// least-recently-used machine.
+  static constexpr std::size_t kSlotCacheCap = 4;
 
-  /// The worker's machine, reset via sim::Machine::reset().
+  MachinePool(sim::OsVariant variant, unsigned workers);
+  ~MachinePool();
+
+  /// The worker's machine for the pool's campaign variant, reset via
+  /// sim::Machine::restore(kFullReset).
   sim::Machine& checkout(unsigned worker);
 
-  /// Same, but for an explicit OS variant: the campaign service multiplexes
-  /// sessions on different variants over one pool, so a slot whose machine
-  /// last ran another personality is rebuilt instead of restored.
+  /// Same, but for an explicit OS variant.
   sim::Machine& checkout(unsigned worker, sim::OsVariant variant);
 
-  unsigned size() const noexcept {
-    return static_cast<unsigned>(machines_.size());
-  }
+  unsigned size() const noexcept { return workers_; }
+
+  /// Machines constructed from scratch (slot-cache misses) so far.
+  std::uint64_t machine_rebuilds() const noexcept;
 
  private:
+  struct Slot;
   sim::OsVariant variant_;
-  std::vector<std::unique_ptr<sim::Machine>> machines_;
-};
-
-/// Work-stealing shard queue: shards are dealt round-robin to per-worker
-/// deques (worker 0 with jobs=1 sees exact plan order); a worker that drains
-/// its own deque steals from the back of the richest victim.  Scheduling
-/// order never affects results — outcomes are merged by shard index.
-class ShardQueue {
- public:
-  ShardQueue(const Plan& plan, unsigned workers);
-
-  /// Next shard for `worker`, or nullptr when all work is done.
-  const Shard* next(unsigned worker);
-
- private:
-  std::mutex mu_;
-  std::vector<std::deque<const Shard*>> queues_;
+  unsigned workers_ = 0;
+  std::vector<Slot> slots_;
 };
 
 /// Merge layer: folds shard outcomes (indexed by shard) back into a
-/// CampaignResult whose stats follow plan.muts order.
+/// CampaignResult whose stats follow plan.muts order.  Consumes the
+/// outcomes: per-case code vectors and crash payloads are moved, not copied.
 CampaignResult merge_outcomes(const Plan& plan,
                               std::vector<ShardOutcome> outcomes);
 

@@ -153,10 +153,11 @@ void register_base_types(TypeLibrary& lib) {
   t_cbuf
       .add("cbuf_64", false,
            [](ValueCtx& c) {
-             const auto a = c.proc.mem().alloc(64);
+             std::uint8_t fill[64];
              for (int i = 0; i < 64; ++i)
-               c.proc.mem().write_u8(a + i, static_cast<std::uint8_t>(i),
-                                     sim::Access::kKernel);
+               fill[i] = static_cast<std::uint8_t>(i);
+             const auto a = c.proc.mem().alloc(64);
+             c.proc.mem().write_bytes(a, fill, sim::Access::kKernel);
              return a;
            })
       .add("cbuf_page", false,
@@ -203,9 +204,9 @@ void register_base_types(TypeLibrary& lib) {
            [](ValueCtx& c) {
              // A full page of 'A' with no NUL; the guard page after it faults
              // any scanner that trusts termination.
+             const std::vector<std::uint8_t> fill(4096, 'A');
              const auto a = c.proc.mem().alloc(4096);
-             for (int i = 0; i < 4096; ++i)
-               c.proc.mem().write_u8(a + i, 'A', sim::Access::kKernel);
+             c.proc.mem().write_bytes(a, fill, sim::Access::kKernel);
              return a;
            })
       .add("str_kernel", true, fixed(0xC0002000ull));

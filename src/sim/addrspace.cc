@@ -156,18 +156,21 @@ Addr AddressSpace::alloc_bytes(std::span<const std::uint8_t> bytes,
 
 Addr AddressSpace::alloc_cstr(std::string_view s, std::uint8_t perm) {
   const Addr base = alloc(s.size() + 1, kPermRW);
-  for (std::size_t i = 0; i < s.size(); ++i)
-    write_u8(base + i, static_cast<std::uint8_t>(s[i]), Access::kKernel);
-  write_u8(base + s.size(), 0, Access::kKernel);
+  write_cstr(base, s, Access::kKernel);
   if (perm != kPermRW) protect(base, s.size() + 1, perm);
   return base;
 }
 
 Addr AddressSpace::alloc_wstr(std::u16string_view s, std::uint8_t perm) {
   const Addr base = alloc((s.size() + 1) * 2, kPermRW);
-  for (std::size_t i = 0; i < s.size(); ++i)
-    write_u16(base + 2 * i, static_cast<std::uint16_t>(s[i]), Access::kKernel);
-  write_u16(base + 2 * s.size(), 0, Access::kKernel);
+  // UTF-16LE code units plus the terminator, staged once and stored as a
+  // single page-segment walk.
+  std::vector<std::uint8_t> bytes((s.size() + 1) * 2, 0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(s[i]);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(s[i] >> 8);
+  }
+  write_bytes(base, bytes, Access::kKernel);
   if (perm != kPermRW) protect(base, (s.size() + 1) * 2, perm);
   return base;
 }
@@ -228,62 +231,112 @@ void AddressSpace::write_u8(Addr a, std::uint8_t v, Access m) {
   p->data[a % kPageSize] = v;
 }
 
-// Multi-byte accessors are assembled byte-wise so values spanning a page
-// boundary behave correctly (and fault on exactly the missing page).
+// Multi-byte accessors and bulk transfers walk page-granular segments: one
+// access check per page touched instead of one hash lookup per byte.  Fault
+// behaviour is identical to the historical byte-wise walk — permissions are
+// page-granular, so the first offending byte of a range is always the first
+// byte the range touches in the offending page, which is exactly where the
+// segment walk faults too (and nothing in that page is mutated when it does).
 std::uint16_t AddressSpace::read_u16(Addr a, Access m) const {
   check_alignment(a, 2, false);
-  return static_cast<std::uint16_t>(read_u8(a, m) | (read_u8(a + 1, m) << 8));
+  std::uint8_t b[2];
+  read_bytes(a, b, m);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
 }
 
 std::uint32_t AddressSpace::read_u32(Addr a, Access m) const {
   check_alignment(a, 4, false);
+  std::uint8_t b[4];
+  read_bytes(a, b, m);
   std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | read_u8(a + i, m);
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
   return v;
 }
 
 std::uint64_t AddressSpace::read_u64(Addr a, Access m) const {
   check_alignment(a, 8, false);
+  std::uint8_t b[8];
+  read_bytes(a, b, m);
   std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | read_u8(a + i, m);
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
   return v;
 }
 
 void AddressSpace::write_u16(Addr a, std::uint16_t v, Access m) {
   check_alignment(a, 2, true);
-  write_u8(a, static_cast<std::uint8_t>(v), m);
-  write_u8(a + 1, static_cast<std::uint8_t>(v >> 8), m);
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  write_bytes(a, b, m);
 }
 
 void AddressSpace::write_u32(Addr a, std::uint32_t v, Access m) {
   check_alignment(a, 4, true);
-  for (int i = 0; i < 4; ++i)
-    write_u8(a + i, static_cast<std::uint8_t>(v >> (8 * i)), m);
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  write_bytes(a, b, m);
 }
 
 void AddressSpace::write_u64(Addr a, std::uint64_t v, Access m) {
   check_alignment(a, 8, true);
-  for (int i = 0; i < 8; ++i)
-    write_u8(a + i, static_cast<std::uint8_t>(v >> (8 * i)), m);
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  write_bytes(a, b, m);
 }
 
 void AddressSpace::read_bytes(Addr a, std::span<std::uint8_t> out,
                               Access m) const {
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = read_u8(a + i, m);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Addr addr = a + done;
+    const Page* p = page_for(addr, m, false);
+    const std::size_t off = addr % kPageSize;
+    const std::size_t n =
+        std::min<std::size_t>(kPageSize - off, out.size() - done);
+    std::memcpy(out.data() + done, p->data.data() + off, n);
+    done += n;
+  }
 }
 
 void AddressSpace::write_bytes(Addr a, std::span<const std::uint8_t> in,
                                Access m) {
-  for (std::size_t i = 0; i < in.size(); ++i) write_u8(a + i, in[i], m);
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const Addr addr = a + done;
+    Page* p = page_for(addr, m, true);
+    // One persistence point per page run, announced after the access check
+    // and before the bytes land — the same coalesced sequence the byte-wise
+    // walk produced (consecutive same-page stores were one point), so crash
+    // cut numbering is unchanged and an armed cut still leaves the whole
+    // page run unwritten.
+    if (hub_ != nullptr) hub_->notify(MutationKind::kPageWrite, page_of(addr));
+    p->dirty = true;
+    const std::size_t off = addr % kPageSize;
+    const std::size_t n =
+        std::min<std::size_t>(kPageSize - off, in.size() - done);
+    std::memcpy(p->data.data() + off, in.data() + done, n);
+    done += n;
+  }
 }
 
 std::string AddressSpace::read_cstr(Addr a, std::size_t max_len,
                                     Access m) const {
   std::string s;
-  for (std::size_t i = 0; i < max_len; ++i) {
-    const std::uint8_t c = read_u8(a + i, m);
-    if (c == 0) return s;
-    s.push_back(static_cast<char>(c));
+  std::size_t i = 0;
+  while (i < max_len) {
+    const Addr addr = a + i;
+    const Page* p = page_for(addr, m, false);
+    const std::size_t off = addr % kPageSize;
+    const std::size_t n = std::min<std::size_t>(kPageSize - off, max_len - i);
+    const std::uint8_t* base = p->data.data() + off;
+    const void* nul = std::memchr(base, 0, n);
+    const std::size_t len =
+        nul != nullptr
+            ? static_cast<std::size_t>(static_cast<const std::uint8_t*>(nul) -
+                                       base)
+            : n;
+    s.append(reinterpret_cast<const char*>(base), len);
+    if (nul != nullptr) return s;
+    i += n;
   }
   return s;
 }
@@ -300,8 +353,8 @@ std::u16string AddressSpace::read_wstr(Addr a, std::size_t max_len,
 }
 
 void AddressSpace::write_cstr(Addr a, std::string_view s, Access m) {
-  for (std::size_t i = 0; i < s.size(); ++i)
-    write_u8(a + i, static_cast<std::uint8_t>(s[i]), m);
+  write_bytes(a,
+              {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}, m);
   write_u8(a + s.size(), 0, m);
 }
 

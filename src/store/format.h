@@ -71,6 +71,11 @@ struct RunHeader {
   /// --groups mask instead of the registry's default-campaign groups.
   std::uint8_t has_group_filter = 0;
   std::uint32_t group_mask = 0;  // bitmask over core::FuncGroup wire ids
+  /// Shard-byte-budget tail (tag 3): set when the campaign sized shards to a
+  /// cache-footprint budget (--shard-bytes).  The budget moves shard
+  /// boundaries, so it is part of the fingerprint.
+  std::uint8_t has_shard_bytes = 0;
+  std::uint64_t shard_bytes = 0;
 
   friend bool operator==(const RunHeader& a, const RunHeader& b) noexcept {
     return a.variant == b.variant && a.mut_list_hash == b.mut_list_hash &&
@@ -84,7 +89,9 @@ struct RunHeader {
            a.crash_max_cuts == b.crash_max_cuts &&
            a.crash_group_mask == b.crash_group_mask &&
            a.has_group_filter == b.has_group_filter &&
-           a.group_mask == b.group_mask;
+           a.group_mask == b.group_mask &&
+           a.has_shard_bytes == b.has_shard_bytes &&
+           a.shard_bytes == b.shard_bytes;
   }
   friend bool operator!=(const RunHeader& a, const RunHeader& b) noexcept {
     return !(a == b);

@@ -84,6 +84,8 @@ RunHeader make_run_header(const core::Plan& plan,
   h.total_planned = plan.total_planned;
   h.has_group_filter = opt.group_mask.has_value() ? 1 : 0;
   h.group_mask = opt.group_mask.value_or(0);
+  h.has_shard_bytes = opt.shard_bytes.has_value() ? 1 : 0;
+  h.shard_bytes = opt.shard_bytes.value_or(0);
   return h;
 }
 
@@ -114,6 +116,8 @@ std::string describe_header_mismatch(const RunHeader& want,
   field("crash_group_mask", want.crash_group_mask, got.crash_group_mask);
   field("has_group_filter", want.has_group_filter, got.has_group_filter);
   field("group_mask", want.group_mask, got.group_mask);
+  field("has_shard_bytes", want.has_shard_bytes, got.has_shard_bytes);
+  field("shard_bytes", want.shard_bytes, got.shard_bytes);
   return out;
 }
 
@@ -438,6 +442,10 @@ std::vector<std::uint8_t> encode_run_header(const RunHeader& h) {
     wire::put_u8(out, 2);
     wire::put_u32(out, h.group_mask);
   }
+  if (h.has_shard_bytes != 0) {
+    wire::put_u8(out, 3);
+    wire::put_u64(out, h.shard_bytes);
+  }
   return out;
 }
 
@@ -466,18 +474,22 @@ bool decode_run_header(const std::uint8_t* payload, std::size_t size,
     return false;
   // Optional tagged tails: absent on default-campaign (and legacy) headers.
   // Tag 1 = crash-enumeration tail (the tag byte doubles as crash_mode),
-  // tag 2 = group-filter tail.  Tails must appear in ascending tag order at
-  // most once each, so every RunHeader value has exactly one encoding.
+  // tag 2 = group-filter tail, tag 3 = shard-byte-budget tail.  Tails must
+  // appear in ascending tag order at most once each, so every RunHeader
+  // value has exactly one encoding.
   std::uint8_t crash_mode = 0;
   std::uint64_t crash_max_cuts = 0;
   std::uint32_t crash_group_mask = 0;
   std::uint8_t has_group_filter = 0;
   std::uint32_t group_mask = 0;
+  std::uint8_t has_shard_bytes = 0;
+  std::uint64_t shard_bytes = 0;
   while (r.pos != r.size) {
     const auto tag = r.u8();
     if (!tag) return false;
     if (*tag == 1) {
-      if (crash_mode != 0 || has_group_filter != 0) return false;
+      if (crash_mode != 0 || has_group_filter != 0 || has_shard_bytes != 0)
+        return false;
       const auto max_cuts = r.u64();
       const auto gmask = r.u32();
       if (!max_cuts || !gmask) return false;
@@ -485,7 +497,7 @@ bool decode_run_header(const std::uint8_t* payload, std::size_t size,
       crash_max_cuts = *max_cuts;
       crash_group_mask = *gmask;
     } else if (*tag == 2) {
-      if (has_group_filter != 0) return false;
+      if (has_group_filter != 0 || has_shard_bytes != 0) return false;
       const auto gmask = r.u32();
       // Fail-safe: a mask with bits past the registered groups comes from a
       // newer build whose plan this one cannot reproduce.
@@ -493,6 +505,12 @@ bool decode_run_header(const std::uint8_t* payload, std::size_t size,
         return false;
       has_group_filter = 1;
       group_mask = *gmask;
+    } else if (*tag == 3) {
+      if (has_shard_bytes != 0) return false;
+      const auto bytes = r.u64();
+      if (!bytes || *bytes == 0) return false;
+      has_shard_bytes = 1;
+      shard_bytes = *bytes;
     } else {
       return false;
     }
@@ -501,7 +519,7 @@ bool decode_run_header(const std::uint8_t* payload, std::size_t size,
        *seed,      *has_api,       *api,       *record_cases,
        *repro,     *shard_cases,   *plan_shards, *total_planned,
        crash_mode, crash_max_cuts, crash_group_mask,
-       has_group_filter, group_mask};
+       has_group_filter, group_mask, has_shard_bytes, shard_bytes};
   return true;
 }
 
@@ -1133,6 +1151,8 @@ StoreRun load_result(const core::Registry& registry, const std::string& path) {
     opt.only_api = static_cast<core::ApiKind>(contents.header.only_api);
   if (contents.header.has_group_filter != 0)
     opt.group_mask = contents.header.group_mask;
+  if (contents.header.has_shard_bytes != 0)
+    opt.shard_bytes = contents.header.shard_bytes;
 
   const core::Plan plan = core::plan_for(variant, registry, opt);
   const RunHeader want = make_run_header(plan, opt);

@@ -303,9 +303,13 @@ TEST(CrashStore, RecordFlavorsNeverMix) {
   // And a crash record inside a base log is equally rejected.
   testing::TinyWorld tiny;
   const core::CampaignOptions base_opt = testing::tiny_options();
-  const core::Plan base_plan = core::make_plan(
-      OsVariant::kWinNT4, tiny.registry,
-      {base_opt.cap, base_opt.seed, base_opt.only_api, base_opt.shard_cases});
+  core::PlanOptions base_popt;
+  base_popt.cap = base_opt.cap;
+  base_popt.seed = base_opt.seed;
+  base_popt.only_api = base_opt.only_api;
+  base_popt.shard_cases = base_opt.shard_cases;
+  const core::Plan base_plan =
+      core::make_plan(OsVariant::kWinNT4, tiny.registry, base_popt);
   const std::string base_path = temp_blog("flavor_base");
   {
     auto log = CampaignStore::create(

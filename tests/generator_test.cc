@@ -108,6 +108,83 @@ TEST_F(GeneratorTest, ZeroParameterMutYieldsOneEmptyTuple) {
   EXPECT_TRUE(gen.tuple(0).empty());
 }
 
+// --- batched cursor API -----------------------------------------------------
+
+TEST_F(GeneratorTest, CursorMatchesStatelessTupleOnExhaustiveStream) {
+  TupleGenerator gen(small);
+  ASSERT_TRUE(gen.exhaustive());
+  TupleScratch scratch;
+  auto cur = gen.begin(0, scratch);
+  for (std::uint64_t i = 0; i < gen.count(); ++i) {
+    const auto expect = gen.tuple(i);
+    const auto got = cur.values();
+    ASSERT_EQ(got.size(), expect.size()) << "case " << i;
+    for (std::size_t k = 0; k < expect.size(); ++k)
+      EXPECT_EQ(got[k], expect[k]) << "case " << i << " slot " << k;
+    if (i + 1 < gen.count()) cur.advance();
+  }
+}
+
+TEST_F(GeneratorTest, CursorMatchesStatelessTupleOnSampledStream) {
+  TupleGenerator gen(wide, 5000);
+  ASSERT_FALSE(gen.exhaustive());
+  TupleScratch scratch;
+  auto cur = gen.begin(0, scratch);
+  for (std::uint64_t i = 0; i < gen.count(); ++i) {
+    const auto expect = gen.tuple(i);
+    const auto got = cur.values();
+    ASSERT_EQ(got.size(), expect.size()) << "case " << i;
+    for (std::size_t k = 0; k < expect.size(); ++k)
+      EXPECT_EQ(got[k], expect[k]) << "case " << i << " slot " << k;
+    if (i + 1 < gen.count()) cur.advance();
+  }
+}
+
+TEST_F(GeneratorTest, CursorStartedMidStreamMatchesEveryOffset) {
+  // Shards begin cursors at arbitrary range starts; every offset must join
+  // the same stream tuple(i) describes, for both generation modes.
+  TupleGenerator ex(small);
+  TupleGenerator sam(wide, 300);
+  for (const TupleGenerator* gen : {&ex, &sam}) {
+    for (std::uint64_t first :
+         {std::uint64_t{1}, gen->count() / 2, gen->count() - 1}) {
+      TupleScratch scratch;
+      auto cur = gen->begin(first, scratch);
+      for (std::uint64_t i = first; i < gen->count(); ++i) {
+        const auto expect = gen->tuple(i);
+        const auto got = cur.values();
+        ASSERT_EQ(got.size(), expect.size());
+        for (std::size_t k = 0; k < expect.size(); ++k)
+          EXPECT_EQ(got[k], expect[k]) << "first " << first << " case " << i;
+        if (i + 1 < gen->count()) cur.advance();
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, CursorReusesOneScratchAcrossGenerators) {
+  // A worker reuses a single scratch for every MuT in a shard; switching
+  // generators mid-scratch must not leak digits between streams.
+  TupleGenerator a(small), b(wide, 100);
+  TupleScratch scratch;
+  auto ca = a.begin(0, scratch);
+  ca.advance();
+  auto cb = b.begin(0, scratch);  // clobbers a's scratch, as documented
+  const auto expect = b.tuple(0);
+  const auto got = cb.values();
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t k = 0; k < expect.size(); ++k) EXPECT_EQ(got[k], expect[k]);
+}
+
+TEST_F(GeneratorTest, CursorOnZeroParameterMut) {
+  MuT nullary;
+  nullary.name = "nullary";
+  TupleGenerator gen(nullary);
+  TupleScratch scratch;
+  auto cur = gen.begin(0, scratch);
+  EXPECT_TRUE(cur.values().empty());
+}
+
 TEST_F(GeneratorTest, InheritedPoolsAreVisible) {
   // "fmt" inherits "cstr": its pool must be strictly larger.
   MuT m;

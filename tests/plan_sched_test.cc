@@ -157,6 +157,61 @@ TEST(MachinePool, CheckoutResetsToPristineBootState) {
   EXPECT_EQ(again.create_process()->pid(), reference.create_process()->pid());
 }
 
+TEST(MachinePool, VariantRoundTripReusesTheCachedMachine) {
+  // The campaign service checks a slot out for different variants as it
+  // multiplexes sessions; returning to an earlier variant must hit the slot
+  // cache, not boot a new machine.
+  MachinePool pool(OsVariant::kWin98, 1);
+  sim::Machine& a = pool.checkout(0);
+  EXPECT_EQ(a.variant(), OsVariant::kWin98);
+  EXPECT_EQ(pool.machine_rebuilds(), 1u);
+
+  sim::Machine& b = pool.checkout(0, OsVariant::kWinNT4);
+  EXPECT_EQ(b.variant(), OsVariant::kWinNT4);
+  EXPECT_NE(&b, &a);
+  EXPECT_EQ(pool.machine_rebuilds(), 2u);
+
+  a.age_arena(2);  // dirty it so the reset-on-hit is observable
+  sim::Machine& a_again = pool.checkout(0, OsVariant::kWin98);
+  EXPECT_EQ(&a_again, &a);  // cache hit: the very same machine object
+  EXPECT_EQ(pool.machine_rebuilds(), 2u);
+  EXPECT_EQ(a_again.arena().corruption(), 0);  // still pristine on checkout
+}
+
+TEST(MachinePool, SlotCacheEvictsTheLeastRecentlyUsedVariant) {
+  static_assert(MachinePool::kSlotCacheCap == 4,
+                "sequence below assumes a 4-deep slot cache");
+  MachinePool pool(OsVariant::kWin95, 1);
+  const OsVariant seq[] = {OsVariant::kWin95, OsVariant::kWin98,
+                           OsVariant::kWin98SE, OsVariant::kWinNT4,
+                           OsVariant::kWin2000};
+  for (OsVariant v : seq) (void)pool.checkout(0, v);
+  EXPECT_EQ(pool.machine_rebuilds(), 5u);  // five distinct variants
+
+  // kWin95 was pushed out by the fifth variant: coming back rebuilds it...
+  (void)pool.checkout(0, OsVariant::kWin95);
+  EXPECT_EQ(pool.machine_rebuilds(), 6u);
+  // ...which in turn evicted kWin98 (now the LRU); the rest are still warm.
+  (void)pool.checkout(0, OsVariant::kWin2000);
+  (void)pool.checkout(0, OsVariant::kWinNT4);
+  (void)pool.checkout(0, OsVariant::kWin98SE);
+  EXPECT_EQ(pool.machine_rebuilds(), 6u);
+  (void)pool.checkout(0, OsVariant::kWin98);
+  EXPECT_EQ(pool.machine_rebuilds(), 7u);
+}
+
+TEST(MachinePool, WorkerSlotsCacheIndependently) {
+  MachinePool pool(OsVariant::kLinux, 2);
+  sim::Machine& w0 = pool.checkout(0);
+  sim::Machine& w1 = pool.checkout(1);
+  EXPECT_NE(&w0, &w1);
+  EXPECT_EQ(pool.machine_rebuilds(), 2u);
+  // Each slot hits its own cache on re-checkout.
+  EXPECT_EQ(&pool.checkout(0), &w0);
+  EXPECT_EQ(&pool.checkout(1), &w1);
+  EXPECT_EQ(pool.machine_rebuilds(), 2u);
+}
+
 TEST(ShardQueue, DeliversEveryShardExactlyOnce) {
   const auto& world = shared_world();
   PlanOptions opt;

@@ -1,0 +1,148 @@
+// Tests for the lock-free shard scheduling layer: exactly-once delivery
+// under concurrent stealing, plan-order owner pops, seeded steal-order
+// reproducibility, and the contended-steal counter.  The torture tests run
+// real threads so the tsan preset exercises the deque protocol directly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/workqueue.h"
+
+namespace ballista::core {
+namespace {
+
+/// A bare plan skeleton: the queue only ever dereferences Shard::index.
+Plan skeleton_plan(std::size_t shards) {
+  Plan plan;
+  plan.shards.resize(shards);
+  for (std::size_t i = 0; i < shards; ++i) plan.shards[i].index = i;
+  return plan;
+}
+
+TEST(ShardDeque, OwnerPopsAloneDrainEverything) {
+  Plan plan = skeleton_plan(7);
+  ShardDeque dq(plan.shards.size());
+  for (std::size_t i = plan.shards.size(); i-- > 0;)
+    dq.seed(&plan.shards[i]);
+  // Reverse-seeded, bottom-end pops: out comes plan order.
+  for (std::size_t i = 0; i < plan.shards.size(); ++i) {
+    const Shard* s = dq.pop();
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->index, i);
+  }
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.pop(), nullptr);  // stays empty
+}
+
+TEST(ShardDeque, ThievesAloneDrainEverything) {
+  Plan plan = skeleton_plan(5);
+  ShardDeque dq(plan.shards.size());
+  for (const Shard& s : plan.shards) dq.seed(&s);
+  bool contended = false;
+  // Steals come from the top end: seeding order.
+  for (std::size_t i = 0; i < plan.shards.size(); ++i) {
+    const Shard* s = dq.steal(contended);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->index, i);
+  }
+  EXPECT_EQ(dq.steal(contended), nullptr);
+  EXPECT_FALSE(contended);  // empty is not contention
+}
+
+TEST(ShardQueue, SingleWorkerSeesExactPlanOrder) {
+  Plan plan = skeleton_plan(23);
+  ShardQueue queue(plan, 1);
+  for (std::size_t i = 0; i < plan.shards.size(); ++i) {
+    const Shard* s = queue.next(0);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->index, i);
+  }
+  EXPECT_EQ(queue.next(0), nullptr);
+}
+
+TEST(ShardQueue, OwnerDrainsItsOwnDealInPlanOrderBeforeStealing) {
+  Plan plan = skeleton_plan(12);
+  ShardQueue queue(plan, 3);
+  // Worker 1 owns shards 1, 4, 7, 10 and must surface them first, in order.
+  for (std::size_t expect : {1u, 4u, 7u, 10u}) {
+    const Shard* s = queue.next(1);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->index, expect);
+  }
+  // After that it steals the other workers' shards until the plan is dry.
+  std::set<std::size_t> stolen;
+  while (const Shard* s = queue.next(1)) stolen.insert(s->index);
+  EXPECT_EQ(stolen.size(), 8u);
+}
+
+TEST(ShardQueue, StealOrderIsReproducibleForTheSameSeed) {
+  const auto drain_as = [](const Plan& plan, unsigned worker,
+                           std::uint64_t seed) {
+    ShardQueue queue(plan, 4, seed);
+    std::vector<std::size_t> order;
+    while (const Shard* s = queue.next(worker)) order.push_back(s->index);
+    return order;
+  };
+  Plan plan = skeleton_plan(41);
+  const auto a = drain_as(plan, 2, 123);
+  const auto b = drain_as(plan, 2, 123);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), plan.shards.size());
+}
+
+TEST(ShardQueue, TortureEveryShardClaimedExactlyOnce) {
+  // N workers hammer one queue; every shard must be claimed by exactly one
+  // worker.  Repeated across shapes (fewer shards than workers, uneven
+  // deals, large plans) and rounds to shake out interleavings.
+  for (const auto& [workers, shards] :
+       std::vector<std::pair<unsigned, std::size_t>>{
+           {2, 1}, {4, 3}, {4, 64}, {8, 1000}}) {
+    for (int round = 0; round < 8; ++round) {
+      Plan plan = skeleton_plan(shards);
+      ShardQueue queue(plan, workers,
+                       /*steal_seed=*/0xfeed + round);
+      std::vector<std::vector<std::size_t>> claimed(workers);
+      std::vector<std::thread> threads;
+      std::atomic<unsigned> gate{0};
+      for (unsigned w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          gate.fetch_add(1);
+          while (gate.load() < workers) {
+          }  // start together: maximize contention
+          while (const Shard* s = queue.next(w))
+            claimed[w].push_back(s->index);
+        });
+      }
+      for (auto& t : threads) t.join();
+      std::set<std::size_t> all;
+      std::size_t total = 0;
+      for (const auto& c : claimed) {
+        total += c.size();
+        for (std::size_t i : c)
+          EXPECT_TRUE(all.insert(i).second)
+              << "shard " << i << " claimed twice (workers=" << workers
+              << " shards=" << shards << " round=" << round << ")";
+      }
+      EXPECT_EQ(total, shards);
+      EXPECT_EQ(all.size(), shards);
+      // Drained queues stay drained for every caller.
+      for (unsigned w = 0; w < workers; ++w)
+        EXPECT_EQ(queue.next(w), nullptr);
+    }
+  }
+}
+
+TEST(ShardQueue, ContendedStealsCountOnlyLostRaces) {
+  // Single-threaded drains can never lose a race.
+  Plan plan = skeleton_plan(30);
+  ShardQueue queue(plan, 4);
+  while (queue.next(0) != nullptr) {
+  }
+  EXPECT_EQ(queue.contended_steals(), 0u);
+}
+
+}  // namespace
+}  // namespace ballista::core

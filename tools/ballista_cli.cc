@@ -91,6 +91,11 @@ struct Args {
   /// --shard-cases N (run/serve/attach): target cases per plan shard.  Part
   /// of the campaign fingerprint — both ends of a resume must agree on it.
   std::uint64_t shard_cases = 2048;
+  /// --shard-bytes N (run): additionally cap each shard's estimated working
+  /// set so one shard fits a cache budget.  Part of the campaign fingerprint
+  /// when set (stored as a RunHeader tail); unset keeps historical shard
+  /// boundaries and golden logs byte-identical.
+  std::optional<std::uint64_t> shard_bytes;
   /// Non-flag operands (only the diff command takes any).
   std::vector<std::string> positional;
   /// Every `--flag` token seen, in order — pure-operand commands (diff,
@@ -182,6 +187,9 @@ Args parse_args(int argc, char** argv) {
     } else if (flag == "--shard-cases") {
       a.shard_cases = std::strtoull(next(), nullptr, 10);
       if (a.shard_cases == 0) a.ok = false;
+    } else if (flag == "--shard-bytes") {
+      a.shard_bytes = std::strtoull(next(), nullptr, 10);
+      if (*a.shard_bytes == 0) a.ok = false;
     } else if (flag == "--store") {
       a.store = next();
     } else if (flag == "--resume") {
@@ -208,7 +216,7 @@ int usage() {
       "      [--groups LIST] [--mut-csv F] [--value-csv F] [--analyze]\n"
       "      [--trace[=N]] [--event-counters] [--crash-points[=N]]\n"
       "      [--store F.blog | --resume F.blog] [--baseline F.blog]\n"
-      "      [--shard-cases N]\n"
+      "      [--shard-cases N] [--shard-bytes N]\n"
       "  serve --sessions LIST [--cap N] [--seed S] [--jobs N] [--quota N]\n"
       "      [--shard-cases N] [--log-dir D] [--detach-at K | --halt-at K]\n"
       "      [--wire-trace]                       multi-session campaign server\n"
@@ -234,6 +242,9 @@ int usage() {
       "recovers such a log and re-runs only the missing shards; --baseline\n"
       "diffs the run against an earlier log and exits 3 on any drift.\n"
       "Store flags require a single --os.  See README.md for details.\n"
+      "--shard-bytes N additionally caps each shard's estimated working set\n"
+      "(cache-footprint shard sizing); the merged results are identical, only\n"
+      "shard boundaries move.  Both ends of a resume must agree on it.\n"
       "--crash-points[=N] runs a crash-enumeration campaign instead of a\n"
       "robustness campaign: each case's persistence points are counted, then\n"
       "up to N cuts per case are injected and post-reboot consistency is\n"
@@ -474,6 +485,7 @@ int cmd_run(const harness::World& world, const Args& a) {
     opt.seed = a.seed;
     opt.jobs = a.jobs;
     opt.shard_cases = a.shard_cases;
+    opt.shard_bytes = a.shard_bytes;
     opt.group_mask = groups.mask;
     if (a.api)
       opt.only_api =
@@ -1001,7 +1013,7 @@ const std::set<std::string>* allowed_flags(const std::string& command) {
        {"--os", "--cap", "--seed", "--api", "--jobs", "--groups", "--mut-csv",
         "--value-csv", "--analyze", "--trace", "--event-counters",
         "--crash-points", "--store", "--resume", "--baseline",
-        "--shard-cases"}},
+        "--shard-cases", "--shard-bytes"}},
       {"serve",
        {"--sessions", "--cap", "--seed", "--jobs", "--quota", "--shard-cases",
         "--log-dir", "--detach-at", "--halt-at", "--wire-trace"}},
